@@ -1,0 +1,92 @@
+// Command ssmpfigures regenerates the paper's simulation figures (4-7):
+// completion time against processor count for the cache-scheme comparison
+// (Figures 4-5) and the buffered-vs-sequential-consistency comparison
+// (Figures 6-7). Output is an aligned text table per figure, optionally
+// CSV files for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ssmp/internal/harness"
+	"ssmp/internal/plot"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 4-7 (0 = all)")
+	util := flag.Bool("util", false, "also produce the utilization extension figure")
+	procsFlag := flag.String("procs", "2,4,8,16,32,64", "processor sweep")
+	tasks := flag.Int("tasks", 128, "work-queue tasks")
+	episodes := flag.Int("episodes", 8, "sync-model episodes")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	csvDir := flag.String("csv", "", "directory to write CSV files into")
+	svgDir := flag.String("svg", "", "directory to write SVG charts into")
+	logY := flag.Bool("logy", false, "logarithmic Y axis for the SVG charts")
+	verbose := flag.Bool("v", false, "log each run")
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Tasks = *tasks
+	opt.Episodes = *episodes
+	opt.Seed = *seed
+	opt.Procs = opt.Procs[:0]
+	for _, s := range strings.Split(*procsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad procs list: %v", err)
+		}
+		opt.Procs = append(opt.Procs, n)
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	var figures []harness.Figure
+	if *fig == 0 {
+		figures = opt.Figures()
+	} else {
+		f, err := opt.FigureByNumber(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		figures = []harness.Figure{f}
+	}
+	if *util {
+		figures = append(figures, opt.UtilizationFigure(128))
+	}
+
+	for _, f := range figures {
+		fmt.Println(f.Table())
+		base := strings.ToLower(strings.ReplaceAll(f.Name, " ", ""))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, base+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *svgDir != "" {
+			yLabel := "completion time (cycles)"
+			logY := *logY
+			if f.Name == "Utilization" {
+				yLabel = "mean utilization (%)"
+				logY = false
+			}
+			svg := plot.SVG(plot.Options{
+				Title: f.Name + ": " + f.Title, XLabel: f.XLabel,
+				YLabel: yLabel, LogX: true, LogY: logY,
+			}, f.Series)
+			path := filepath.Join(*svgDir, base+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command ssmpreport regenerates the complete evaluation in one run and
+// emits a Markdown report: the analytical Tables 2 and 3, their simulated
+// cross-checks, and Figures 4-7, with the paper's shape claims checked
+// programmatically. This is the reproducibility entry point:
+//
+//	go run ./cmd/ssmpreport -procs 2,4,8,16,32,64 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ssmp/internal/analytic"
+	"ssmp/internal/harness"
+)
+
+func main() {
+	procsFlag := flag.String("procs", "2,4,8,16,32", "processor sweep for the figures")
+	tableN := flag.Int("table-n", 16, "processor count for the tables")
+	tasks := flag.Int("tasks", 128, "work-queue tasks")
+	episodes := flag.Int("episodes", 8, "sync-model episodes")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	verbose := flag.Bool("v", false, "log each run to stderr")
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Tasks = *tasks
+	opt.Episodes = *episodes
+	opt.Seed = *seed
+	opt.Procs = opt.Procs[:0]
+	for _, s := range strings.Split(*procsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad procs list: %v", err)
+		}
+		opt.Procs = append(opt.Procs, n)
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	fmt.Println("# ssmp evaluation report")
+	fmt.Println()
+	fmt.Printf("Sweep: procs=%v, tables at n=%d, %d tasks, %d episodes, seed %d.\n",
+		opt.Procs, *tableN, *tasks, *episodes, *seed)
+	fmt.Println("All runs are deterministic; rerunning this command reproduces every number.")
+	fmt.Println()
+
+	fmt.Println("## Analytical models")
+	fmt.Println()
+	fmt.Println("```")
+	fmt.Print(analytic.FormatTable2(*tableN, 4, analytic.DefaultClassCosts()))
+	fmt.Println("```")
+	fmt.Println()
+	fmt.Println("```")
+	fmt.Print(analytic.FormatTable3(analytic.DefaultSyncParams(*tableN)))
+	fmt.Println("```")
+	fmt.Println()
+
+	fmt.Println("## Simulated cross-checks")
+	fmt.Println()
+	fmt.Println("```")
+	fmt.Print(harness.FormatTable2Sim(*tableN, 20, opt.Table2Sim(*tableN, 20)))
+	fmt.Println("```")
+	fmt.Println()
+	t3 := opt.Table3Sim(*tableN)
+	fmt.Println("```")
+	fmt.Print(harness.FormatTable3Sim(*tableN, t3))
+	fmt.Println("```")
+	fmt.Println()
+	checkTable3(t3, *tableN)
+	fmt.Println()
+
+	fmt.Println("## Figures")
+	for _, f := range opt.Figures() {
+		fmt.Println()
+		fmt.Printf("### %s\n\n", f.Name)
+		fmt.Println("```")
+		fmt.Print(f.Table())
+		fmt.Println("```")
+	}
+	fmt.Println()
+	checkFigures(opt)
+}
+
+// checkTable3 prints pass/fail lines for the Table 3 shape claims.
+func checkTable3(rows []harness.Table3Measured, n int) {
+	get := func(s analytic.Scenario, scheme string) harness.Table3Measured {
+		for _, r := range rows {
+			if r.Scenario == s && r.Scheme == scheme {
+				return r
+			}
+		}
+		log.Fatalf("missing %s/%s", s, scheme)
+		return harness.Table3Measured{}
+	}
+	claim := func(name string, ok bool) {
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Printf("- %s: **%s**\n", name, mark)
+	}
+	claim("CBL serial lock is exactly 3 messages",
+		get(analytic.SerialLock, "CBL").Messages == 3)
+	claim(fmt.Sprintf("CBL parallel lock is O(n): <= 6n = %d messages", 6*n),
+		get(analytic.ParallelLock, "CBL").Messages <= uint64(6*n))
+	claim("WBI parallel lock costs more than CBL (messages)",
+		get(analytic.ParallelLock, "WBI").Messages > get(analytic.ParallelLock, "CBL").Messages)
+	claim("WBI parallel lock costs more than CBL (time)",
+		get(analytic.ParallelLock, "WBI").Cycles > get(analytic.ParallelLock, "CBL").Cycles)
+	claim("CBL barrier request is exactly 2 messages per processor",
+		get(analytic.BarrierRequest, "CBL").Messages == 2)
+	claim("CBL barrier beats the software barrier (messages)",
+		get(analytic.BarrierNotify, "CBL").Messages < get(analytic.BarrierNotify, "WBI").Messages)
+}
+
+// checkFigures prints pass/fail lines for the figure shape claims at the
+// sweep's largest processor count.
+func checkFigures(opt harness.Options) {
+	nMax := float64(opt.Procs[len(opt.Procs)-1])
+	f4 := opt.Figure4()
+	y := func(f harness.Figure, name string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Name == name {
+				if v, ok := s.Y(x); ok {
+					return v
+				}
+			}
+		}
+		log.Fatalf("missing %s in %s", name, f.Name)
+		return 0
+	}
+	claim := func(name string, ok bool) {
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Printf("- %s: **%s**\n", name, mark)
+	}
+	fmt.Println("## Shape claims (largest sweep point)")
+	fmt.Println()
+	claim("Figure 4: Q-CBL beats Q-WBI under contention",
+		y(f4, "Q-CBL", nMax) < y(f4, "Q-WBI", nMax))
+	claim("Figure 4: backoff helps WBI but does not beat CBL",
+		y(f4, "Q-backoff", nMax) < y(f4, "Q-WBI", nMax) &&
+			y(f4, "Q-CBL", nMax) < y(f4, "Q-backoff", nMax))
+	claim("Figure 4: sync-model CBL <= sync-model WBI",
+		y(f4, "CBL", nMax) <= y(f4, "WBI", nMax))
+	f6 := opt.Figure6()
+	bcWins := true
+	for _, p := range opt.Procs {
+		if y(f6, "BC-CBL", float64(p)) > y(f6, "SC-CBL", float64(p)) {
+			bcWins = false
+		}
+	}
+	claim("Figures 6-7: buffered consistency never loses to SC", bcWins)
+}

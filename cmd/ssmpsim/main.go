@@ -1,0 +1,107 @@
+// Command ssmpsim runs one simulation of the paper's machine (or the WBI
+// baseline) under either workload model and prints the run's metrics.
+//
+// Usage:
+//
+//	ssmpsim -procs 16 -proto cbl -consistency bc -workload queue -grain 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ssmp"
+	"ssmp/internal/network"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "processor count (power of two)")
+	proto := flag.String("proto", "cbl", "machine protocol: cbl | wbi")
+	cons := flag.String("consistency", "bc", "memory model (cbl machine): bc | sc")
+	wl := flag.String("workload", "queue", "workload model: sync | queue")
+	grain := flag.Int("grain", ssmp.MediumGrain, "references per task (granularity)")
+	episodes := flag.Int("episodes", 8, "sync model: episodes per processor")
+	tasks := flag.Int("tasks", 128, "queue model: initial tasks")
+	spawn := flag.Float64("spawn", 0.2, "queue model: task spawn probability")
+	backoff := flag.Bool("backoff", false, "wbi: exponential backoff on locks")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	ideal := flag.Bool("ideal-net", false, "contention-free network (ablation)")
+	danceHall := flag.Bool("dance-hall", false, "all memory across the network (Table 2 organization)")
+	directHandoff := flag.Bool("direct-handoff", false, "cbl: pass write-lock grants straight down the queue")
+	writeUpdate := flag.Bool("write-update", false, "cbl: sender-initiated write-update coherence (ablation)")
+	dirPtrs := flag.Int("dir-pointers", 0, "wbi: limited directory pointer count (0 = full map)")
+	topology := flag.String("topology", "omega", "interconnect: omega | mesh | bus")
+	msgTrace := flag.Bool("msgtrace", false, "dump every message to stderr")
+	flag.Parse()
+
+	cfg := ssmp.DefaultConfig(*procs)
+	switch *proto {
+	case "cbl":
+		cfg.Protocol = ssmp.ProtoCBL
+	case "wbi":
+		cfg.Protocol = ssmp.ProtoWBI
+	default:
+		log.Fatalf("unknown protocol %q", *proto)
+	}
+	switch *cons {
+	case "bc":
+		cfg.Consistency = ssmp.BC
+	case "sc":
+		cfg.Consistency = ssmp.SC
+	default:
+		log.Fatalf("unknown consistency %q", *cons)
+	}
+	cfg.IdealNetwork = *ideal
+	cfg.DanceHall = *danceHall
+	cfg.DirectHandoff = *directHandoff
+	cfg.WriteUpdate = *writeUpdate
+	cfg.DirMaxPointers = *dirPtrs
+	switch *topology {
+	case "omega":
+	case "mesh":
+		cfg.Topology = network.TopMesh
+	case "bus":
+		cfg.Topology = network.TopBus
+	default:
+		log.Fatalf("unknown topology %q", *topology)
+	}
+
+	p := ssmp.DefaultWorkloadParams()
+	p.Grain = *grain
+	layout := ssmp.NewLayout(cfg, p)
+	var kit ssmp.SyncKit
+	if cfg.Protocol == ssmp.ProtoCBL {
+		kit = ssmp.CBLKit(layout, *procs)
+	} else {
+		kit = ssmp.WBIKit(layout, *procs, *backoff)
+	}
+
+	var progs []ssmp.Program
+	switch *wl {
+	case "sync":
+		progs = ssmp.SyncModel(*procs, *episodes, p, layout, kit, *seed)
+	case "queue":
+		progs, _ = ssmp.WorkQueue(*procs, *tasks, *spawn, p, layout, kit, *seed)
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	m := ssmp.NewMachine(cfg)
+	if *msgTrace {
+		m.TraceMessages(os.Stderr)
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine:        %d-node %v (%v), %s workload, %s sync\n",
+		*procs, cfg.Protocol, cfg.Consistency, *wl, kit.Name)
+	fmt.Printf("completion:     %d cycles\n", res.Cycles)
+	fmt.Printf("messages:       %d\n", res.Messages)
+	fmt.Printf("net latency:    %.2f cycles mean, %.2f queueing\n", res.MeanNetLatency, res.MeanNetQueueing)
+	fmt.Printf("by kind:        %s\n", m.Messages())
+}

@@ -1,0 +1,111 @@
+// Command ssmptrace replays a memory-reference trace file on a simulated
+// machine — the trace-driven evaluation path the paper names as future
+// work (§6). See internal/trace for the format.
+//
+//	ssmptrace -file run.trace -procs 8 -proto cbl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ssmp"
+	"ssmp/internal/trace"
+)
+
+func main() {
+	file := flag.String("file", "", "trace file (defaults to stdin)")
+	procs := flag.Int("procs", 8, "machine size (power of two)")
+	proto := flag.String("proto", "cbl", "machine protocol: cbl | wbi")
+	cons := flag.String("consistency", "bc", "memory model: bc | sc")
+	gen := flag.Bool("gen", false, "emit a synthetic sync-model trace to stdout instead of replaying")
+	capture := flag.String("capture", "", "run a workload (sync | queue) and emit its captured trace")
+	events := flag.Int("events", 200, "with -gen: events per processor")
+	seed := flag.Uint64("seed", 42, "with -gen: generator seed")
+	flag.Parse()
+
+	if *capture != "" {
+		cfg := ssmp.DefaultConfig(*procs)
+		if *proto == "wbi" {
+			cfg.Protocol = ssmp.ProtoWBI
+		}
+		wp := ssmp.DefaultWorkloadParams()
+		layout := ssmp.NewLayout(cfg, wp)
+		var kit ssmp.SyncKit
+		if cfg.Protocol == ssmp.ProtoCBL {
+			kit = ssmp.CBLKit(layout, *procs)
+		} else {
+			kit = ssmp.WBIKit(layout, *procs, false)
+		}
+		var progs []ssmp.Program
+		switch *capture {
+		case "sync":
+			progs = ssmp.SyncModel(*procs, 4, wp, layout, kit, *seed)
+		case "queue":
+			progs, _ = ssmp.WorkQueue(*procs, 32, 0.2, wp, layout, kit, *seed)
+		default:
+			log.Fatalf("unknown workload %q", *capture)
+		}
+		m := ssmp.NewMachine(cfg)
+		b := trace.Capture(m)
+		if _, err := m.Run(progs); err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Trace().Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *gen {
+		p := trace.DefaultSynthParams(*procs)
+		p.Events = *events
+		p.Seed = *seed
+		p.WBI = *proto == "wbi"
+		tr, err := trace.Synthesize(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ssmp.DefaultConfig(*procs)
+	if *proto == "wbi" {
+		cfg.Protocol = ssmp.ProtoWBI
+	}
+	if *cons == "sc" {
+		cfg.Consistency = ssmp.SC
+	}
+	progs, err := tr.Programs(*procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ssmp.NewMachine(cfg)
+	res, err := m.Run(progs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d processor traces on %d-node %v (%v)\n",
+		len(tr.Procs), *procs, cfg.Protocol, cfg.Consistency)
+	fmt.Printf("completion: %d cycles\n", res.Cycles)
+	fmt.Printf("messages:   %d\n", res.Messages)
+	fmt.Printf("by kind:    %s\n", m.Messages())
+}

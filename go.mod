@@ -1,0 +1,3 @@
+module ssmp
+
+go 1.22

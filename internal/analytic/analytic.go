@@ -1,0 +1,290 @@
+// Package analytic implements the paper's closed-form cost models:
+//
+//   - Table 2: per-processor, per-iteration network traffic of a linear
+//     equation solver under the read-update scheme versus two
+//     invalidation-protocol allocations (inv-I: x-vector elements
+//     colocated; inv-II: one element per line), in terms of the message
+//     cost classes C_B (block transfer), C_W (word transfer), C_I
+//     (invalidation) and C_R (control transaction).
+//
+//   - Table 3: message and time costs of four synchronization scenarios
+//     (parallel lock, serial lock, barrier request, barrier notify) under
+//     the WBI baseline and the cache-based lock scheme, in terms of n (the
+//     number of processors), t_nw (network transit), t_cs (critical
+//     section), t_D (directory check) and t_m (memory block read).
+//
+// Each cost is provided both numerically and as the paper's symbolic
+// expression, so the tables can be regenerated verbatim.
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ClassCosts weight the four message classes for Table 2's numeric
+// evaluation.
+type ClassCosts struct {
+	CB float64 // block transfer
+	CW float64 // word transfer
+	CI float64 // invalidation
+	CR float64 // transaction carrying no data
+}
+
+// DefaultClassCosts reflects the simulator's network occupancies for
+// 4-word blocks: a block transfer costs 4 flits, everything else one.
+func DefaultClassCosts() ClassCosts {
+	return ClassCosts{CB: 4, CW: 1, CI: 1, CR: 1}
+}
+
+// Traffic is one Table 2 cell: a linear combination of the class costs.
+// Parallel transactions (the paper's p||X notation) contribute p messages;
+// ParallelCB records how many of the CB units may proceed in parallel so a
+// latency-oriented reading can discount them.
+type Traffic struct {
+	CB, CW, CI, CR float64
+	// Parallel is the paper's p in p||transaction annotations (0 when no
+	// parallel group is present).
+	Parallel int
+	// Symbolic is the cell exactly as printed in the paper.
+	Symbolic string
+}
+
+// Eval returns the weighted message cost (parallel transactions counted
+// individually, i.e. network traffic, which is what Table 2 measures).
+func (t Traffic) Eval(c ClassCosts) float64 {
+	return t.CB*c.CB + t.CW*c.CW + t.CI*c.CI + t.CR*c.CR
+}
+
+// EvalTime returns the weighted cost under the paper's time reading of the
+// p||X notation: a group of p parallel transactions costs one X, because
+// the transfers pipeline through disjoint network paths. With this reading,
+// read-update's write cost is the constant C_W + C_B regardless of n, which
+// is the source of its scalability claim.
+func (t Traffic) EvalTime(c ClassCosts) float64 {
+	if t.Parallel <= 1 {
+		return t.Eval(c)
+	}
+	p := float64(t.Parallel)
+	// Collapse the parallel group (p units of the dominant class) to one.
+	switch {
+	case t.CB >= p:
+		return (t.CB-p+1)*c.CB + t.CW*c.CW + t.CI*c.CI + t.CR*c.CR
+	case t.CI >= p:
+		return t.CB*c.CB + t.CW*c.CW + (t.CI-p+1)*c.CI + t.CR*c.CR
+	}
+	return t.Eval(c)
+}
+
+// Table2Row holds the three cost-model rows for one scheme.
+type Table2Row struct {
+	Scheme      string
+	InitialLoad Traffic
+	Write       Traffic
+	Read        Traffic
+}
+
+// Table2 returns the paper's Table 2 for n processors and line size B
+// (the analysis assumes a dance-hall organization and focuses on the
+// x-vector's global operations).
+func Table2(n, B int) []Table2Row {
+	nf, bf := float64(n), float64(B)
+	ceilNB := math.Ceil(nf / bf)
+	return []Table2Row{
+		{
+			Scheme:      "read-update",
+			InitialLoad: Traffic{CB: ceilNB, Symbolic: "ceil(n/B)*C_B"},
+			Write: Traffic{
+				CW: 1, CB: nf - 1, Parallel: n - 1,
+				Symbolic: "C_W + (n-1)||C_B",
+			},
+			Read: Traffic{Symbolic: "-"},
+		},
+		{
+			Scheme:      "inv-I",
+			InitialLoad: Traffic{CB: ceilNB, Symbolic: "ceil(n/B)*C_B"},
+			// 1/B of writes are first-writers: C_R + (n-1)||C_I;
+			// the rest fetch the line from the previous writer:
+			// 2C_R + 2C_B.
+			Write: Traffic{
+				CR: 1.0/bf + (bf-1)/bf*2,
+				CI: (nf - 1) / bf,
+				CB: (bf - 1) / bf * 2,
+				Symbolic: "1/B*(C_R + (n-1)||C_I) + " +
+					"(B-1)/B*(2C_R + 2C_B)",
+			},
+			Read: Traffic{
+				CB: (ceilNB-1)/bf + (bf-1)/bf*ceilNB,
+				Symbolic: "1/B*(ceil(n/B)-1)*C_B + " +
+					"(B-1)/B*ceil(n/B)*C_B",
+			},
+		},
+		{
+			Scheme:      "inv-II",
+			InitialLoad: Traffic{CB: nf, Symbolic: "n*C_B"},
+			Write: Traffic{
+				CR: 1, CI: nf - 1, Parallel: n - 1,
+				Symbolic: "C_R + (n-1)||C_I",
+			},
+			Read: Traffic{CB: nf - 1, Symbolic: "(n-1)*C_B"},
+		},
+	}
+}
+
+// SyncParams are the Table 3 time parameters.
+type SyncParams struct {
+	N   int     // processors
+	Tnw float64 // network transit time
+	Tcs float64 // time inside the critical section
+	TD  float64 // directory / cache-directory check
+	Tm  float64 // memory block read
+}
+
+// DefaultSyncParams matches the simulator's default timing for n
+// processors: t_D = 1, t_m = 4, and t_nw = log2(n) unit-delay stages.
+func DefaultSyncParams(n int) SyncParams {
+	return SyncParams{N: n, Tnw: math.Log2(float64(n)), Tcs: 50, TD: 1, Tm: 4}
+}
+
+// Cost is one Table 3 cell.
+type Cost struct {
+	Messages float64
+	Time     float64
+	// MsgExpr and TimeExpr are the paper's symbolic entries.
+	MsgExpr, TimeExpr string
+}
+
+// Scenario names a Table 3 row.
+type Scenario string
+
+// The four Table 3 scenarios. Costs for SerialLock and BarrierRequest are
+// per processor; ParallelLock and BarrierNotify are totals.
+const (
+	ParallelLock   Scenario = "parallel lock"
+	SerialLock     Scenario = "serial lock"
+	BarrierRequest Scenario = "barrier request"
+	BarrierNotify  Scenario = "barrier notify"
+)
+
+// Scenarios lists the Table 3 rows in paper order.
+func Scenarios() []Scenario {
+	return []Scenario{ParallelLock, SerialLock, BarrierRequest, BarrierNotify}
+}
+
+// WBI returns the Table 3 cost of a scenario under the write-back
+// invalidation scheme with software synchronization.
+func WBI(s Scenario, p SyncParams) Cost {
+	n := float64(p.N)
+	switch s {
+	case ParallelLock:
+		return Cost{
+			Messages: 6*n*n + 4*n,
+			Time:     n*p.Tcs + 10*n*p.Tnw + n*(n+1)/2*p.Tm + 5*n*(5*n-1)/2*p.TD,
+			MsgExpr:  "6n^2 + 4n",
+			TimeExpr: "n*t_cs + 10n*t_nw + n(n+1)/2*t_m + 5n(5n-1)/2*t_D",
+		}
+	case SerialLock:
+		return Cost{
+			Messages: 8,
+			Time:     8*p.Tnw + 5*p.TD + p.Tm + p.Tcs,
+			MsgExpr:  "8",
+			TimeExpr: "8t_nw + 5t_D + t_m + t_cs",
+		}
+	case BarrierRequest:
+		return Cost{
+			Messages: 18,
+			Time:     18*p.Tnw + 12*p.TD,
+			MsgExpr:  "18",
+			TimeExpr: "18t_nw + 12t_D",
+		}
+	case BarrierNotify:
+		return Cost{
+			Messages: 5*n - 3,
+			Time:     4*p.Tnw + (2*n-1)*p.TD,
+			MsgExpr:  "5n - 3",
+			TimeExpr: "4t_nw + (2n-1)t_D",
+		}
+	}
+	panic(fmt.Sprintf("analytic: unknown scenario %q", s))
+}
+
+// CBL returns the Table 3 cost of a scenario under the cache-based lock
+// scheme.
+func CBL(s Scenario, p SyncParams) Cost {
+	n := float64(p.N)
+	switch s {
+	case ParallelLock:
+		return Cost{
+			Messages: 6*n - 3,
+			Time:     n*p.Tcs + (2*n+1)*p.Tnw + (n+1)*p.TD + p.Tm,
+			MsgExpr:  "6n - 3",
+			TimeExpr: "n*t_cs + (2n+1)t_nw + (n+1)t_D + t_m",
+		}
+	case SerialLock:
+		return Cost{
+			Messages: 3,
+			Time:     3*p.Tnw + p.TD + p.Tcs,
+			MsgExpr:  "3",
+			TimeExpr: "3t_nw + t_D + t_cs",
+		}
+	case BarrierRequest:
+		return Cost{
+			Messages: 2,
+			Time:     2 * (p.Tnw + p.Tm),
+			MsgExpr:  "2",
+			TimeExpr: "2(t_nw + t_m)",
+		}
+	case BarrierNotify:
+		return Cost{
+			Messages: n,
+			Time:     2*p.Tnw + (n-1)*p.TD,
+			MsgExpr:  "n",
+			TimeExpr: "2t_nw + (n-1)t_D",
+		}
+	}
+	panic(fmt.Sprintf("analytic: unknown scenario %q", s))
+}
+
+// Table2TimeAdvantage returns the per-iteration steady-state cost
+// (write + read phases) of the three schemes under the time reading of
+// p||X, for n processors and line size B. The read-update scheme's cost is
+// constant in n while both invalidation schemes grow — the asymptotic
+// argument behind §4.1's comparison.
+func Table2TimeAdvantage(n, B int, c ClassCosts) (readUpdate, invI, invII float64) {
+	rows := Table2(n, B)
+	cost := func(r Table2Row) float64 { return r.Write.EvalTime(c) + r.Read.EvalTime(c) }
+	return cost(rows[0]), cost(rows[1]), cost(rows[2])
+}
+
+// FormatTable2 renders Table 2: symbolic cells plus a numeric evaluation.
+func FormatTable2(n, B int, c ClassCosts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: linear solver network traffic per processor (n=%d, B=%d; C_B=%g C_W=%g C_I=%g C_R=%g)\n",
+		n, B, c.CB, c.CW, c.CI, c.CR)
+	fmt.Fprintf(&b, "%-12s %-34s %10s\n", "scheme", "operation", "cost")
+	for _, row := range Table2(n, B) {
+		fmt.Fprintf(&b, "%-12s %-34s %10.1f   %s\n", row.Scheme, "initial load", row.InitialLoad.Eval(c), row.InitialLoad.Symbolic)
+		fmt.Fprintf(&b, "%-12s %-34s %10.1f   %s\n", "", "write", row.Write.Eval(c), row.Write.Symbolic)
+		if row.Read.Symbolic == "-" {
+			fmt.Fprintf(&b, "%-12s %-34s %10s   %s\n", "", "read", "-", "-")
+		} else {
+			fmt.Fprintf(&b, "%-12s %-34s %10.1f   %s\n", "", "read", row.Read.Eval(c), row.Read.Symbolic)
+		}
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3 for the given parameters.
+func FormatTable3(p SyncParams) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: synchronization costs (n=%d, t_nw=%g, t_cs=%g, t_D=%g, t_m=%g)\n",
+		p.N, p.Tnw, p.Tcs, p.TD, p.Tm)
+	fmt.Fprintf(&b, "%-16s | %12s %12s | %12s %12s\n", "scenario", "WBI msgs", "WBI time", "CBL msgs", "CBL time")
+	for _, s := range Scenarios() {
+		w, c := WBI(s, p), CBL(s, p)
+		fmt.Fprintf(&b, "%-16s | %12.0f %12.0f | %12.0f %12.0f\n",
+			s, w.Messages, w.Time, c.Messages, c.Time)
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTable2ReadUpdateCells(t *testing.T) {
+	rows := Table2(16, 4)
+	ru := rows[0]
+	if ru.Scheme != "read-update" {
+		t.Fatalf("row 0 = %s", ru.Scheme)
+	}
+	// Initial load: ceil(16/4) = 4 block transfers.
+	if !almost(ru.InitialLoad.CB, 4) {
+		t.Fatalf("initial CB = %v", ru.InitialLoad.CB)
+	}
+	// Write: C_W + 15||C_B.
+	if !almost(ru.Write.CW, 1) || !almost(ru.Write.CB, 15) || ru.Write.Parallel != 15 {
+		t.Fatalf("write = %+v", ru.Write)
+	}
+	// Read: free.
+	if ru.Read.CB != 0 || ru.Read.CW != 0 {
+		t.Fatalf("read = %+v", ru.Read)
+	}
+}
+
+func TestTable2InvICells(t *testing.T) {
+	inv1 := Table2(16, 4)[1]
+	// Write: 1/4*(C_R + 15 C_I) + 3/4*(2C_R + 2C_B)
+	if !almost(inv1.Write.CR, 0.25+1.5) {
+		t.Fatalf("inv-I write CR = %v", inv1.Write.CR)
+	}
+	if !almost(inv1.Write.CI, 15.0/4) {
+		t.Fatalf("inv-I write CI = %v", inv1.Write.CI)
+	}
+	if !almost(inv1.Write.CB, 1.5) {
+		t.Fatalf("inv-I write CB = %v", inv1.Write.CB)
+	}
+	// Read: 1/4*3*C_B + 3/4*4*C_B = 0.75 + 3 = 3.75 C_B.
+	if !almost(inv1.Read.CB, 3.75) {
+		t.Fatalf("inv-I read CB = %v", inv1.Read.CB)
+	}
+}
+
+func TestTable2InvIICells(t *testing.T) {
+	inv2 := Table2(16, 4)[2]
+	if !almost(inv2.InitialLoad.CB, 16) {
+		t.Fatalf("inv-II initial CB = %v", inv2.InitialLoad.CB)
+	}
+	if !almost(inv2.Write.CR, 1) || !almost(inv2.Write.CI, 15) {
+		t.Fatalf("inv-II write = %+v", inv2.Write)
+	}
+	if !almost(inv2.Read.CB, 15) {
+		t.Fatalf("inv-II read CB = %v", inv2.Read.CB)
+	}
+}
+
+// Property: the read phase is where read-update wins — for all n, B >= 2 it
+// costs strictly less than both invalidation variants.
+func TestQuickReadUpdateWinsReadPhase(t *testing.T) {
+	f := func(nRaw, bRaw uint8) bool {
+		n := int(nRaw%63) + 2
+		B := int(bRaw%7) + 2
+		c := DefaultClassCosts()
+		rows := Table2(n, B)
+		ru := rows[0].Read.Eval(c)
+		i1 := rows[1].Read.Eval(c)
+		i2 := rows[2].Read.Eval(c)
+		return ru < i1 && ru < i2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable3WBIValues(t *testing.T) {
+	p := SyncParams{N: 16, Tnw: 4, Tcs: 50, TD: 1, Tm: 4}
+	pl := WBI(ParallelLock, p)
+	if !almost(pl.Messages, 6*256+64) {
+		t.Fatalf("WBI parallel messages = %v", pl.Messages)
+	}
+	wantTime := 16*50.0 + 10*16*4.0 + 16*17/2*4.0 + 5*16*(5*16-1)/2*1.0
+	if !almost(pl.Time, wantTime) {
+		t.Fatalf("WBI parallel time = %v, want %v", pl.Time, wantTime)
+	}
+	sl := WBI(SerialLock, p)
+	if !almost(sl.Messages, 8) || !almost(sl.Time, 8*4+5+4+50) {
+		t.Fatalf("WBI serial = %+v", sl)
+	}
+	br := WBI(BarrierRequest, p)
+	if !almost(br.Messages, 18) || !almost(br.Time, 18*4+12) {
+		t.Fatalf("WBI barrier request = %+v", br)
+	}
+	bn := WBI(BarrierNotify, p)
+	if !almost(bn.Messages, 5*16-3) || !almost(bn.Time, 4*4+31) {
+		t.Fatalf("WBI barrier notify = %+v", bn)
+	}
+}
+
+func TestTable3CBLValues(t *testing.T) {
+	p := SyncParams{N: 16, Tnw: 4, Tcs: 50, TD: 1, Tm: 4}
+	pl := CBL(ParallelLock, p)
+	if !almost(pl.Messages, 6*16-3) {
+		t.Fatalf("CBL parallel messages = %v", pl.Messages)
+	}
+	if !almost(pl.Time, 16*50+33*4.0+17+4) {
+		t.Fatalf("CBL parallel time = %v", pl.Time)
+	}
+	sl := CBL(SerialLock, p)
+	if !almost(sl.Messages, 3) || !almost(sl.Time, 12+1+50) {
+		t.Fatalf("CBL serial = %+v", sl)
+	}
+	br := CBL(BarrierRequest, p)
+	if !almost(br.Messages, 2) || !almost(br.Time, 16) {
+		t.Fatalf("CBL barrier request = %+v", br)
+	}
+	bn := CBL(BarrierNotify, p)
+	if !almost(bn.Messages, 16) || !almost(bn.Time, 8+15) {
+		t.Fatalf("CBL barrier notify = %+v", bn)
+	}
+}
+
+// Property: CBL's parallel-lock cost is O(n) while WBI's is O(n^2): the
+// ratio WBI/CBL grows with n for both messages and (t_cs = 0) time.
+func TestQuickComplexitySeparation(t *testing.T) {
+	prevMsgRatio, prevTimeRatio := 0.0, 0.0
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		p := DefaultSyncParams(n)
+		p.Tcs = 0 // isolate the synchronization overhead
+		w, c := WBI(ParallelLock, p), CBL(ParallelLock, p)
+		mr := w.Messages / c.Messages
+		tr := w.Time / c.Time
+		if mr <= prevMsgRatio || tr <= prevTimeRatio {
+			t.Fatalf("n=%d: ratios not growing (msg %v, time %v)", n, mr, tr)
+		}
+		prevMsgRatio, prevTimeRatio = mr, tr
+	}
+}
+
+func TestCBLBeatsWBIEverywhere(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64} {
+		p := DefaultSyncParams(n)
+		for _, s := range Scenarios() {
+			w, c := WBI(s, p), CBL(s, p)
+			if c.Messages >= w.Messages {
+				t.Errorf("n=%d %s: CBL messages %v >= WBI %v", n, s, c.Messages, w.Messages)
+			}
+			if c.Time >= w.Time {
+				t.Errorf("n=%d %s: CBL time %v >= WBI %v", n, s, c.Time, w.Time)
+			}
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t2 := FormatTable2(16, 4, DefaultClassCosts())
+	for _, want := range []string{"read-update", "inv-I", "inv-II", "initial load", "C_W + (n-1)||C_B"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	t3 := FormatTable3(DefaultSyncParams(16))
+	for _, want := range []string{"parallel lock", "serial lock", "barrier request", "barrier notify", "WBI msgs", "CBL msgs"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scenario did not panic")
+		}
+	}()
+	WBI(Scenario("bogus"), DefaultSyncParams(4))
+}
+
+func TestEvalTimeCollapsesParallelGroups(t *testing.T) {
+	c := DefaultClassCosts()
+	rows := Table2(16, 4)
+	ru := rows[0].Write
+	// Traffic reading: C_W + 15 C_B = 1 + 60 = 61.
+	if !almost(ru.Eval(c), 61) {
+		t.Fatalf("Eval = %v", ru.Eval(c))
+	}
+	// Time reading: C_W + 1 C_B = 5, constant in n.
+	if !almost(ru.EvalTime(c), 5) {
+		t.Fatalf("EvalTime = %v", ru.EvalTime(c))
+	}
+	inv2 := rows[2].Write
+	// inv-II write: C_R + 15||C_I -> C_R + C_I = 2 under time reading.
+	if !almost(inv2.EvalTime(c), 2) {
+		t.Fatalf("inv-II EvalTime = %v", inv2.EvalTime(c))
+	}
+	// Non-parallel cells are unchanged.
+	if !almost(rows[2].Read.EvalTime(c), rows[2].Read.Eval(c)) {
+		t.Fatal("non-parallel cell changed under time reading")
+	}
+}
+
+// Property: under the time reading, read-update's steady-state cost is
+// constant in n while both invalidation schemes grow, so read-update wins
+// for every n above the line size.
+func TestQuickTimeAdvantageGrowsWithN(t *testing.T) {
+	c := DefaultClassCosts()
+	base, _, _ := Table2TimeAdvantage(8, 4, c)
+	prevI, prevII := 0.0, 0.0
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		ru, i1, i2 := Table2TimeAdvantage(n, 4, c)
+		if !almost(ru, base) {
+			t.Fatalf("read-update time cost varies with n: %v vs %v", ru, base)
+		}
+		if i1 <= prevI || i2 <= prevII {
+			t.Fatalf("invalidation costs not growing at n=%d", n)
+		}
+		if ru >= i1 || ru >= i2 {
+			t.Fatalf("read-update not winning at n=%d: %v vs %v/%v", n, ru, i1, i2)
+		}
+		prevI, prevII = i1, i2
+	}
+}

@@ -1,0 +1,177 @@
+package barrier
+
+import (
+	"testing"
+
+	"ssmp/internal/fabric"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	f     *fabric.Fabric
+	geom  mem.Geometry
+	units []*Unit
+	homes []*Home
+}
+
+func newRig(t testing.TB, n int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := network.New(eng, network.DefaultConfig(n))
+	f := fabric.New(eng, nw, fabric.DefaultTiming())
+	geom := mem.Geometry{BlockWords: 4, Nodes: n}
+	r := &rig{eng: eng, f: f, geom: geom}
+	for i := 0; i < n; i++ {
+		r.units = append(r.units, NewUnit(f, i, geom))
+		r.homes = append(r.homes, NewHome(f, i, geom))
+		i := i
+		nw.Attach(i, func(p any) {
+			m := p.(*msg.Msg)
+			if r.homes[i].Handles(m.Kind) {
+				r.homes[i].Handle(m)
+			} else {
+				r.units[i].Handle(m)
+			}
+		})
+	}
+	return r
+}
+
+func TestBarrierReleasesAllAtOnce(t *testing.T) {
+	r := newRig(t, 8)
+	a := mem.Addr(100)
+	released := map[int]sim.Time{}
+	for n := 0; n < 8; n++ {
+		n := n
+		// Stagger arrivals.
+		r.eng.At(sim.Time(n*10), func() {
+			r.units[n].Arrive(a, 8, func() { released[n] = r.eng.Now() })
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(released) != 8 {
+		t.Fatalf("released %d, want 8", len(released))
+	}
+	// No release may precede the last arrival (t=70).
+	for n, at := range released {
+		if at < 70 {
+			t.Fatalf("node %d released at %d, before last arrival", n, at)
+		}
+	}
+	if r.homes[r.geom.Home(r.geom.BlockOf(a))].Episodes != 1 {
+		t.Fatal("episode count wrong")
+	}
+}
+
+func TestBarrierMessageCount(t *testing.T) {
+	// Table 3: per-processor barrier request = 2 messages (arrive +
+	// release); total = 2n.
+	r := newRig(t, 4)
+	a := mem.Addr(100)
+	for n := 0; n < 4; n++ {
+		r.units[n].Arrive(a, 4, func() {})
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.f.Coll.Total(); got != 8 {
+		t.Fatalf("messages = %d, want 8 (2 per processor)", got)
+	}
+	if r.f.Coll.Kind(msg.BarrierArrive) != 4 || r.f.Coll.Kind(msg.BarrierRelease) != 4 {
+		t.Fatalf("counts: %s", r.f.Coll)
+	}
+}
+
+func TestBarrierReusableForSuccessiveEpisodes(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(100)
+	episodes := 0
+	var arrive func()
+	arrive = func() {
+		done := 0
+		for n := 0; n < 4; n++ {
+			r.units[n].Arrive(a, 4, func() {
+				done++
+				if done == 4 {
+					episodes++
+					if episodes < 3 {
+						arrive()
+					}
+				}
+			})
+		}
+	}
+	arrive()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if episodes != 3 {
+		t.Fatalf("episodes = %d, want 3", episodes)
+	}
+}
+
+func TestIndependentBarriers(t *testing.T) {
+	r := newRig(t, 4)
+	aDone, bDone := false, false
+	r.units[0].Arrive(mem.Addr(100), 2, func() { aDone = true })
+	r.units[1].Arrive(mem.Addr(200), 2, func() { bDone = true })
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aDone || bDone {
+		t.Fatal("half-full barriers released")
+	}
+	r.units[2].Arrive(mem.Addr(100), 2, func() {})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !aDone || bDone {
+		t.Fatalf("a=%v b=%v, want a released only", aDone, bDone)
+	}
+	r.units[3].Arrive(mem.Addr(200), 2, func() {})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bDone {
+		t.Fatal("b never released")
+	}
+}
+
+func TestDoubleArrivalPanics(t *testing.T) {
+	r := newRig(t, 4)
+	r.units[0].Arrive(mem.Addr(100), 4, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double arrival did not panic")
+		}
+	}()
+	r.units[0].Arrive(mem.Addr(100), 4, func() {})
+}
+
+func TestParticipantDisagreementPanics(t *testing.T) {
+	r := newRig(t, 4)
+	r.units[0].Arrive(mem.Addr(100), 4, func() {})
+	r.units[1].Arrive(mem.Addr(100), 3, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("participant disagreement did not panic")
+		}
+	}()
+	_ = r.eng.Run()
+}
+
+func TestHandlesKinds(t *testing.T) {
+	r := newRig(t, 4)
+	if !r.homes[0].Handles(msg.BarrierArrive) || r.homes[0].Handles(msg.BarrierRelease) {
+		t.Fatal("home Handles wrong")
+	}
+	if !r.units[0].Handles(msg.BarrierRelease) || r.units[0].Handles(msg.BarrierArrive) {
+		t.Fatal("unit Handles wrong")
+	}
+}

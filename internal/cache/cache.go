@@ -1,0 +1,331 @@
+// Package cache models the per-node private cache of the paper's machine
+// (§4, Figure 2a). Every cache directory entry carries, beyond the usual
+// tag/state, the fields the paper adds:
+//
+//   - per-word dirty bits d1..dk, so only dirty words are written back on
+//     replacement (eliminating the false-sharing lost-update problem);
+//   - an update bit, set by READ-UPDATE, marking the line as a subscriber to
+//     reader-initiated coherence;
+//   - a lock field plus prev/next pointers, used both for the update
+//     subscriber list and for the distributed lock queue (the two uses are
+//     mutually exclusive per block, discriminated by the central directory's
+//     usage bit).
+//
+// The package also provides the small fully-associative lock cache of §4.3:
+// lock lines must never be evicted while they participate in a queue, so
+// they live in a dedicated structure whose capacity is a managed hardware
+// resource.
+package cache
+
+import (
+	"fmt"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+)
+
+// NoNode is the nil value for Prev/Next node pointers.
+const NoNode = -1
+
+// Line is one cache line plus its cache-directory entry.
+type Line struct {
+	// Block is the memory block cached here (the tag).
+	Block mem.Block
+	// Valid reports whether the line holds live data.
+	Valid bool
+	// Data is the line's contents (BlockWords words).
+	Data []mem.Word
+	// Dirty is the per-word dirty bitmap (d1..dk in Figure 2a).
+	Dirty mem.DirtyMask
+	// Update is the update bit: the line subscribes to reader-initiated
+	// updates.
+	Update bool
+	// Excl marks exclusive ownership (used by the WBI baseline protocol;
+	// the paper's own protocol does not need an exclusive state).
+	Excl bool
+
+	// Mode is the lock field: the mode held or requested on this line.
+	Mode msg.LockMode
+	// Held reports whether the lock grant has arrived (false = waiting).
+	Held bool
+	// Prev and Next are the node ids of this line's neighbours in the
+	// distributed linked list (update subscribers or lock queue).
+	Prev, Next int
+
+	lru uint64
+}
+
+// ResetPointers clears the linked-list fields.
+func (l *Line) ResetPointers() { l.Prev, l.Next = NoNode, NoNode }
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// DirtyEvictions counts evictions that required a write-back.
+	DirtyEvictions uint64
+}
+
+// Cache is a set-associative cache with LRU replacement within a set.
+type Cache struct {
+	geom  mem.Geometry
+	sets  int
+	ways  int
+	lines []Line
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache of sets x ways lines. Sets must be a power of two.
+func New(geom mem.Geometry, sets, ways int) *Cache {
+	if sets < 1 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets must be a power of two, got %d", sets))
+	}
+	if ways < 1 {
+		panic(fmt.Sprintf("cache: ways must be >= 1, got %d", ways))
+	}
+	c := &Cache{geom: geom, sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+	for i := range c.lines {
+		c.lines[i].ResetPointers()
+		c.lines[i].Data = make([]mem.Word, geom.BlockWords)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the total number of lines.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(b mem.Block) []Line {
+	s := int(uint64(b) & uint64(c.sets-1))
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup returns the line holding block b, counting a hit or miss and
+// refreshing LRU state. It returns nil on a miss.
+func (c *Cache) Lookup(b mem.Block) *Line {
+	set := c.set(b)
+	for i := range set {
+		if set[i].Valid && set[i].Block == b {
+			c.stats.Hits++
+			c.tick++
+			set[i].lru = c.tick
+			return &set[i]
+		}
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// Peek returns the line holding block b without touching statistics or LRU
+// state. It returns nil if the block is not cached.
+func (c *Cache) Peek(b mem.Block) *Line {
+	set := c.set(b)
+	for i := range set {
+		if set[i].Valid && set[i].Block == b {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim describes a line displaced by Allocate. The caller is responsible
+// for writing back dirty words and unsubscribing an update line.
+type Victim struct {
+	Block  mem.Block
+	Data   []mem.Word
+	Dirty  mem.DirtyMask
+	Update bool
+}
+
+// Allocate returns a line for block b, evicting the LRU way if the set is
+// full. The returned line is valid, tagged with b, and zero-filled; the
+// caller populates Data. If an eviction displaced live data, evicted is true
+// and victim describes it (victim.Data is a copy and safe to retain).
+//
+// Allocate panics if b is already cached: the caller must Lookup first.
+func (c *Cache) Allocate(b mem.Block) (line *Line, victim Victim, evicted bool) {
+	set := c.set(b)
+	var pick *Line
+	for i := range set {
+		if set[i].Valid && set[i].Block == b {
+			panic(fmt.Sprintf("cache: Allocate of already-cached block %d", b))
+		}
+		switch {
+		case !set[i].Valid:
+			// An invalid way is always the preferred victim.
+			if pick == nil || pick.Valid {
+				pick = &set[i]
+			}
+		case pick == nil || (pick.Valid && set[i].lru < pick.lru):
+			pick = &set[i]
+		}
+	}
+	if pick.Valid {
+		evicted = true
+		c.stats.Evictions++
+		if pick.Dirty.Any() {
+			c.stats.DirtyEvictions++
+		}
+		victim = Victim{
+			Block:  pick.Block,
+			Data:   append([]mem.Word(nil), pick.Data...),
+			Dirty:  pick.Dirty,
+			Update: pick.Update,
+		}
+	}
+	c.tick++
+	data := pick.Data
+	for i := range data {
+		data[i] = 0
+	}
+	*pick = Line{Block: b, Valid: true, Data: data, Prev: NoNode, Next: NoNode, lru: c.tick}
+	return pick, victim, evicted
+}
+
+// Invalidate drops block b from the cache, returning the line's final state
+// (for write-back decisions) and whether it was present.
+func (c *Cache) Invalidate(b mem.Block) (Victim, bool) {
+	set := c.set(b)
+	for i := range set {
+		if set[i].Valid && set[i].Block == b {
+			v := Victim{
+				Block:  b,
+				Data:   append([]mem.Word(nil), set[i].Data...),
+				Dirty:  set[i].Dirty,
+				Update: set[i].Update,
+			}
+			set[i].Valid = false
+			set[i].Dirty = 0
+			set[i].Update = false
+			set[i].Mode = msg.LockNone
+			set[i].Held = false
+			set[i].ResetPointers()
+			return v, true
+		}
+	}
+	return Victim{}, false
+}
+
+// ForEach calls fn for every valid line.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// LockCache is the small fully-associative cache dedicated to lock variables
+// (§4.3). Lines participating in a lock queue are pinned: they are never
+// evicted, and allocation fails when every slot is pinned. The paper treats
+// capacity as a compile-time-managed hardware resource; we surface
+// exhaustion as an error so callers can model a conservative mapping.
+type LockCache struct {
+	geom  mem.Geometry
+	lines []Line
+	tick  uint64
+	stats Stats
+}
+
+// NewLockCache builds a lock cache with the given number of entries.
+func NewLockCache(geom mem.Geometry, entries int) *LockCache {
+	if entries < 1 {
+		panic(fmt.Sprintf("cache: lock cache entries must be >= 1, got %d", entries))
+	}
+	lc := &LockCache{geom: geom, lines: make([]Line, entries)}
+	for i := range lc.lines {
+		lc.lines[i].ResetPointers()
+		lc.lines[i].Data = make([]mem.Word, geom.BlockWords)
+	}
+	return lc
+}
+
+// Capacity returns the number of entries.
+func (lc *LockCache) Capacity() int { return len(lc.lines) }
+
+// InUse returns the number of live entries.
+func (lc *LockCache) InUse() int {
+	n := 0
+	for i := range lc.lines {
+		if lc.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (lc *LockCache) Stats() Stats { return lc.stats }
+
+// Lookup returns the lock line for block b, or nil.
+func (lc *LockCache) Lookup(b mem.Block) *Line {
+	for i := range lc.lines {
+		if lc.lines[i].Valid && lc.lines[i].Block == b {
+			lc.stats.Hits++
+			lc.tick++
+			lc.lines[i].lru = lc.tick
+			return &lc.lines[i]
+		}
+	}
+	lc.stats.Misses++
+	return nil
+}
+
+// ErrLockCacheFull is returned when every lock-cache entry is pinned by an
+// active lock. The paper's position is that software maps locks to this
+// hardware resource conservatively so this never happens; surfacing it as an
+// error lets tests and experiments probe the boundary.
+var ErrLockCacheFull = fmt.Errorf("cache: lock cache full")
+
+// Allocate returns a fresh line for block b. Because every valid lock line
+// is by definition participating in a queue (or holding a lock), no eviction
+// is possible: Allocate returns ErrLockCacheFull when all entries are live.
+func (lc *LockCache) Allocate(b mem.Block) (*Line, error) {
+	var pick *Line
+	for i := range lc.lines {
+		if lc.lines[i].Valid {
+			if lc.lines[i].Block == b {
+				panic(fmt.Sprintf("cache: lock-cache Allocate of live block %d", b))
+			}
+			continue
+		}
+		if pick == nil {
+			pick = &lc.lines[i]
+		}
+	}
+	if pick == nil {
+		return nil, ErrLockCacheFull
+	}
+	lc.tick++
+	data := pick.Data
+	for i := range data {
+		data[i] = 0
+	}
+	*pick = Line{Block: b, Valid: true, Data: data, Prev: NoNode, Next: NoNode, lru: lc.tick}
+	return pick, nil
+}
+
+// Release frees the entry for block b (after the lock is fully released and
+// any dirty words written back). Releasing an absent block is a no-op.
+func (lc *LockCache) Release(b mem.Block) {
+	for i := range lc.lines {
+		if lc.lines[i].Valid && lc.lines[i].Block == b {
+			lc.lines[i].Valid = false
+			lc.lines[i].Dirty = 0
+			lc.lines[i].Mode = msg.LockNone
+			lc.lines[i].Held = false
+			lc.lines[i].ResetPointers()
+			return
+		}
+	}
+}

@@ -1,0 +1,505 @@
+package cbl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/fabric"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	f     *fabric.Fabric
+	geom  mem.Geometry
+	units []*Unit
+	homes []*Home
+}
+
+func newRig(t testing.TB, n int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := network.New(eng, network.DefaultConfig(n))
+	f := fabric.New(eng, nw, fabric.DefaultTiming())
+	geom := mem.Geometry{BlockWords: 4, Nodes: n}
+	r := &rig{eng: eng, f: f, geom: geom}
+	for i := 0; i < n; i++ {
+		r.units = append(r.units, NewUnit(f, i, geom, 8))
+		r.homes = append(r.homes, NewHome(f, i, geom, mem.NewStore(geom)))
+		i := i
+		nw.Attach(i, func(p any) {
+			m := p.(*msg.Msg)
+			switch {
+			case r.homes[i].Handles(m.Kind):
+				r.homes[i].Handle(m)
+			default:
+				r.units[i].Handle(m)
+			}
+		})
+	}
+	return r
+}
+
+func (r *rig) run(t testing.TB) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) lock(t testing.TB, node int, a mem.Addr, mode msg.LockMode) {
+	t.Helper()
+	got := false
+	if err := r.units[node].Lock(a, mode, func() { got = true }); err != nil {
+		t.Fatalf("node %d lock: %v", node, err)
+	}
+	r.run(t)
+	if !got {
+		t.Fatalf("node %d lock on %d never granted", node, a)
+	}
+}
+
+func (r *rig) unlock(t testing.TB, node int, a mem.Addr) {
+	t.Helper()
+	if err := r.units[node].Unlock(a, func() {}); err != nil {
+		t.Fatalf("node %d unlock: %v", node, err)
+	}
+	r.run(t)
+}
+
+func TestSerialWriteLockMessageCount(t *testing.T) {
+	// Table 3, serial lock, CBL: 3 messages (request, grant, release).
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 2, a, msg.LockWrite)
+	r.unlock(t, 2, a)
+	c := r.f.Coll
+	if c.Kind(msg.LockReq) != 1 || c.Kind(msg.LockGrant) != 1 || c.Kind(msg.LockDequeue) != 1 {
+		t.Fatalf("message counts: %s", c)
+	}
+	if c.Total() != 3 {
+		t.Fatalf("total messages = %d, want 3 (Table 3 serial lock)", c.Total())
+	}
+}
+
+func TestLockCarriesData(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.homes[r.geom.Home(r.geom.BlockOf(a))].store.WriteWord(a, 88)
+	r.lock(t, 1, a, msg.LockRead)
+	w, err := r.units[1].ReadLocked(a)
+	if err != nil || w != 88 {
+		t.Fatalf("ReadLocked = %d, %v; want 88", w, err)
+	}
+	r.unlock(t, 1, a)
+}
+
+func TestWriteUnderLockTravelsToNextHolder(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockWrite)
+	if err := r.units[1].WriteLocked(a, 42); err != nil {
+		t.Fatal(err)
+	}
+	r.unlock(t, 1, a)
+	r.lock(t, 2, a, msg.LockWrite)
+	w, err := r.units[2].ReadLocked(a)
+	if err != nil || w != 42 {
+		t.Fatalf("next holder read = %d, %v; want 42", w, err)
+	}
+	r.unlock(t, 2, a)
+	// The final release wrote the data home.
+	if got := r.homes[r.geom.Home(r.geom.BlockOf(a))].store.ReadWord(a); got != 42 {
+		t.Fatalf("memory = %d, want 42", got)
+	}
+}
+
+func TestWriteUnderReadLockRejected(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockRead)
+	if err := r.units[1].WriteLocked(a, 1); err == nil {
+		t.Fatal("write under read lock succeeded")
+	}
+	r.unlock(t, 1, a)
+}
+
+func TestReadersShareTheLock(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	granted := 0
+	for _, n := range []int{1, 2, 3} {
+		if err := r.units[n].Lock(a, msg.LockRead, func() { granted++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t)
+	if granted != 3 {
+		t.Fatalf("granted = %d, want 3 concurrent readers", granted)
+	}
+	q := r.homes[r.geom.Home(b)].Queue(b)
+	for _, w := range q {
+		if !w.Holding || w.Mode != msg.LockRead {
+			t.Fatalf("queue member %+v should be a holding reader", w)
+		}
+	}
+}
+
+func TestWriterExcludedWhileReadersHold(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockRead)
+	r.lock(t, 2, a, msg.LockRead)
+	writerIn := false
+	if err := r.units[3].Lock(a, msg.LockWrite, func() { writerIn = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if writerIn {
+		t.Fatal("writer granted while readers hold")
+	}
+	r.unlock(t, 1, a)
+	if writerIn {
+		t.Fatal("writer granted with one reader still holding")
+	}
+	r.unlock(t, 2, a)
+	if !writerIn {
+		t.Fatal("writer not granted after last reader released")
+	}
+}
+
+func TestGrantWaveWakesConsecutiveReaders(t *testing.T) {
+	r := newRig(t, 8)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockWrite)
+	grants := map[int]bool{}
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		if err := r.units[n].Lock(a, msg.LockRead, func() { grants[n] = true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writer5 := false
+	if err := r.units[5].Lock(a, msg.LockWrite, func() { writer5 = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if len(grants) != 0 || writer5 {
+		t.Fatal("waiters granted while writer holds")
+	}
+	r.unlock(t, 1, a)
+	if len(grants) != 3 {
+		t.Fatalf("grant wave woke %d readers, want 3", len(grants))
+	}
+	if writer5 {
+		t.Fatal("trailing writer woken by read wave")
+	}
+	for _, n := range []int{2, 3, 4} {
+		r.unlock(t, n, a)
+	}
+	if !writer5 {
+		t.Fatal("writer not granted after read batch drained")
+	}
+	r.unlock(t, 5, a)
+}
+
+func TestFIFONoReaderBarging(t *testing.T) {
+	// A reader arriving behind a waiting writer must not join the current
+	// read batch.
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockRead)
+	writerIn, readerIn := false, false
+	if err := r.units[2].Lock(a, msg.LockWrite, func() { writerIn = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if err := r.units[3].Lock(a, msg.LockRead, func() { readerIn = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if writerIn || readerIn {
+		t.Fatal("waiters granted while incompatible holder present")
+	}
+	r.unlock(t, 1, a)
+	if !writerIn || readerIn {
+		t.Fatalf("after reader release: writer=%v reader=%v, want writer only", writerIn, readerIn)
+	}
+	r.unlock(t, 2, a)
+	if !readerIn {
+		t.Fatal("reader not granted after writer released")
+	}
+	r.unlock(t, 3, a)
+}
+
+func TestQueuePointersMirrorQueue(t *testing.T) {
+	r := newRig(t, 8)
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	r.lock(t, 1, a, msg.LockWrite)
+	for _, n := range []int{2, 3, 4} {
+		if err := r.units[n].Lock(a, msg.LockWrite, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t)
+	}
+	q := r.homes[r.geom.Home(b)].Queue(b)
+	if len(q) != 4 {
+		t.Fatalf("queue length = %d", len(q))
+	}
+	// Each queued line's prev/next must thread the same order.
+	for i, w := range q {
+		l := r.units[w.Node].LockCache().Lookup(b)
+		if l == nil {
+			t.Fatalf("node %d missing lock line", w.Node)
+		}
+		if i > 0 && l.Prev != q[i-1].Node {
+			t.Fatalf("node %d prev = %d, want %d", w.Node, l.Prev, q[i-1].Node)
+		}
+		if i < len(q)-1 && l.Next != q[i+1].Node {
+			t.Fatalf("node %d next = %d, want %d", w.Node, l.Next, q[i+1].Node)
+		}
+	}
+}
+
+func TestLockErrors(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockWrite)
+	if err := r.units[1].Lock(a, msg.LockWrite, func() {}); err != ErrAlreadyHeld {
+		t.Fatalf("re-lock = %v, want ErrAlreadyHeld", err)
+	}
+	if err := r.units[2].Unlock(a, func() {}); err != ErrNotHeld {
+		t.Fatalf("unlock by non-holder = %v, want ErrNotHeld", err)
+	}
+	if _, err := r.units[2].ReadLocked(a); err != ErrNotHeld {
+		t.Fatalf("ReadLocked by non-holder = %v, want ErrNotHeld", err)
+	}
+	r.unlock(t, 1, a)
+}
+
+func TestLockCacheExhaustion(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := network.New(eng, network.DefaultConfig(2))
+	f := fabric.New(eng, nw, fabric.DefaultTiming())
+	geom := mem.Geometry{BlockWords: 4, Nodes: 2}
+	u := NewUnit(f, 0, geom, 2)
+	h := NewHome(f, 0, geom, mem.NewStore(geom))
+	h1 := NewHome(f, 1, geom, mem.NewStore(geom))
+	nw.Attach(0, func(p any) {
+		m := p.(*msg.Msg)
+		if h.Handles(m.Kind) {
+			h.Handle(m)
+		} else {
+			u.Handle(m)
+		}
+	})
+	nw.Attach(1, func(p any) { h1.Handle(p.(*msg.Msg)) })
+
+	// Two locks fill the two-entry lock cache (blocks homed at node 0:
+	// even block numbers).
+	if err := u.Lock(geom.BaseAddr(0), msg.LockWrite, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Lock(geom.BaseAddr(2), msg.LockWrite, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Lock(geom.BaseAddr(4), msg.LockWrite, func() {}); err != ErrLockCacheFull {
+		t.Fatalf("third lock = %v, want ErrLockCacheFull", err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing one frees a slot.
+	if err := u.Unlock(geom.BaseAddr(0), func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Lock(geom.BaseAddr(4), msg.LockWrite, func() {}); err != nil {
+		t.Fatalf("lock after release = %v", err)
+	}
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	// n nodes each increment a lock-protected counter k times; the final
+	// value must be n*k. Increments interleave through the grant queue.
+	r := newRig(t, 8)
+	a := mem.Addr(17)
+	const k = 10
+	remaining := make([]int, 8)
+	var pump func(node int)
+	pump = func(node int) {
+		if remaining[node] == 0 {
+			return
+		}
+		remaining[node]--
+		err := r.units[node].Lock(a, msg.LockWrite, func() {
+			v, err := r.units[node].ReadLocked(a)
+			if err != nil {
+				t.Error(err)
+			}
+			if err := r.units[node].WriteLocked(a, v+1); err != nil {
+				t.Error(err)
+			}
+			if err := r.units[node].Unlock(a, func() { pump(node) }); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	for n := 0; n < 8; n++ {
+		remaining[n] = k
+		pump(n)
+	}
+	r.run(t)
+	if got := r.homes[r.geom.Home(r.geom.BlockOf(a))].store.ReadWord(a); got != 8*k {
+		t.Fatalf("counter = %d, want %d (lost increments under contention)", got, 8*k)
+	}
+}
+
+func TestParallelLockMessageComplexityIsLinear(t *testing.T) {
+	// Table 3 parallel lock: CBL message count is O(n) (paper: 6n-3).
+	for _, n := range []int{4, 8, 16} {
+		r := newRig(t, n)
+		a := mem.Addr(1) // block homed at node 1
+		granted := 0
+		for i := 0; i < n; i++ {
+			i := i
+			if err := r.units[i].Lock(a, msg.LockWrite, func() {
+				granted++
+				if err := r.units[i].Unlock(a, func() {}); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.run(t)
+		if granted != n {
+			t.Fatalf("granted = %d, want %d", granted, n)
+		}
+		total := int(r.f.Coll.Total())
+		if total > 6*n {
+			t.Fatalf("n=%d: %d messages, want O(n) <= %d", n, total, 6*n)
+		}
+		if total < 3*n {
+			t.Fatalf("n=%d: %d messages suspiciously few", n, total)
+		}
+	}
+}
+
+// Property: any interleaving of lock/unlock requests maintains the queue
+// invariants: holders form a prefix, concurrent holders are compatible, and
+// every request is eventually granted exactly once.
+func TestQuickLockSafetyAndLiveness(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := newRig(t, 8)
+		a := mem.Addr(17)
+		b := r.geom.BlockOf(a)
+		granted := make([]int, 8)
+		requested := make([]int, 8)
+		held := make([]bool, 8)
+		for _, op := range ops {
+			node := int(op % 8)
+			mode := msg.LockRead
+			if (op>>3)%2 == 0 {
+				mode = msg.LockWrite
+			}
+			u := r.units[node]
+			if held[node] || u.LockCache().Lookup(b) != nil {
+				// Holding or waiting: release if holding.
+				if held[node] {
+					held[node] = false
+					if err := u.Unlock(a, func() {}); err != nil {
+						return false
+					}
+				}
+			} else {
+				node := node
+				requested[node]++
+				if err := u.Lock(a, mode, func() { granted[node]++; held[node] = true }); err != nil {
+					return false
+				}
+			}
+			if err := r.eng.Run(); err != nil {
+				return false
+			}
+			// Invariant: queue holders form a prefix and are
+			// mutually compatible.
+			q := r.homes[r.geom.Home(b)].Queue(b)
+			sawWaiter := false
+			writers := 0
+			readers := 0
+			for _, w := range q {
+				if w.Holding {
+					if sawWaiter {
+						return false
+					}
+					if w.Mode == msg.LockWrite {
+						writers++
+					} else {
+						readers++
+					}
+				} else {
+					sawWaiter = true
+				}
+			}
+			if writers > 1 || (writers == 1 && readers > 0) {
+				return false
+			}
+		}
+		// Drain: release all holders repeatedly until every request
+		// has been granted.
+		for pass := 0; pass < len(ops)+8; pass++ {
+			progress := false
+			for n := 0; n < 8; n++ {
+				if held[n] {
+					held[n] = false
+					if err := r.units[n].Unlock(a, func() {}); err != nil {
+						return false
+					}
+					progress = true
+				}
+			}
+			if err := r.eng.Run(); err != nil {
+				return false
+			}
+			if !progress && !r.homes[r.geom.Home(b)].Locked(b) {
+				break
+			}
+		}
+		for n := 0; n < 8; n++ {
+			if granted[n] != requested[n] {
+				return false
+			}
+		}
+		return !r.homes[r.geom.Home(b)].Locked(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitAccessors(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	if r.units[1].Holds(a) || r.units[1].Line(a) != nil {
+		t.Fatal("accessors nonempty before lock")
+	}
+	r.lock(t, 1, a, msg.LockWrite)
+	if !r.units[1].Holds(a) || r.units[1].Line(a) == nil {
+		t.Fatal("accessors empty while holding")
+	}
+	if !r.units[1].Handles(msg.LockGrant) || r.units[1].Handles(msg.LockReq) {
+		t.Fatal("Handles wrong")
+	}
+	r.unlock(t, 1, a)
+}

@@ -1,0 +1,225 @@
+package cbl
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+)
+
+// handoffRig builds a rig with DirectHandoff enabled on every unit.
+func handoffRig(t testing.TB, n int) *rig {
+	r := newRig(t, n)
+	for _, u := range r.units {
+		u.DirectHandoff = true
+	}
+	return r
+}
+
+func TestDirectHandoffPassesGrantAndData(t *testing.T) {
+	r := handoffRig(t, 4)
+	a := mem.Addr(17)
+	// Node 1 takes the write lock; nodes 2 and 3 queue behind it.
+	r.lock(t, 1, a, msg.LockWrite)
+	granted2, granted3 := false, false
+	if err := r.units[2].Lock(a, msg.LockWrite, func() { granted2 = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if err := r.units[3].Lock(a, msg.LockWrite, func() { granted3 = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+
+	if err := r.units[1].WriteLocked(a, 42); err != nil {
+		t.Fatal(err)
+	}
+	r.unlock(t, 1, a) // direct handoff 1 -> 2
+	if !granted2 || granted3 {
+		t.Fatalf("after first release granted2=%v granted3=%v", granted2, granted3)
+	}
+	if r.units[1].DirectHandoffs != 1 {
+		t.Fatalf("DirectHandoffs = %d, want 1", r.units[1].DirectHandoffs)
+	}
+	// The data travelled with the handoff, not through memory.
+	if w, err := r.units[2].ReadLocked(a); err != nil || w != 42 {
+		t.Fatalf("successor sees %d (%v), want 42", w, err)
+	}
+	if got := r.homes[r.geom.Home(r.geom.BlockOf(a))].store.ReadWord(a); got == 42 {
+		t.Fatal("memory updated during handoff; data should stay in the chain")
+	}
+
+	// Second handoff 2 -> 3, then a final release writes everything home.
+	if err := r.units[2].WriteLocked(a+1, 7); err != nil {
+		t.Fatal(err)
+	}
+	r.unlock(t, 2, a)
+	if !granted3 {
+		t.Fatal("second handoff did not grant node 3")
+	}
+	r.unlock(t, 3, a) // no waiter: UnlockToHome carries the chain's dirty words
+	home := r.homes[r.geom.Home(r.geom.BlockOf(a))]
+	if got := home.store.ReadWord(a); got != 42 {
+		t.Fatalf("memory word a = %d, want 42 (handed-off dirty word lost)", got)
+	}
+	if got := home.store.ReadWord(a + 1); got != 7 {
+		t.Fatalf("memory word a+1 = %d, want 7", got)
+	}
+	if home.Locked(r.geom.BlockOf(a)) {
+		t.Fatal("queue not empty at end")
+	}
+}
+
+func TestDirectHandoffSkippedForReaderSuccessor(t *testing.T) {
+	// A read-lock successor must be granted through the home (the home
+	// runs the read wave and needs current memory), so no direct handoff.
+	r := handoffRig(t, 4)
+	a := mem.Addr(17)
+	r.lock(t, 1, a, msg.LockWrite)
+	granted := 0
+	for _, n := range []int{2, 3} {
+		if err := r.units[n].Lock(a, msg.LockRead, func() { granted++ }); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t)
+	}
+	if err := r.units[1].WriteLocked(a, 9); err != nil {
+		t.Fatal(err)
+	}
+	r.unlock(t, 1, a)
+	if r.units[1].DirectHandoffs != 0 {
+		t.Fatal("direct handoff used for a reader successor")
+	}
+	if granted != 2 {
+		t.Fatalf("read wave granted %d, want 2", granted)
+	}
+	// Readers must see the writer's data (via memory).
+	for _, n := range []int{2, 3} {
+		if w, err := r.units[n].ReadLocked(a); err != nil || w != 9 {
+			t.Fatalf("reader %d sees %d (%v), want 9", n, w, err)
+		}
+	}
+}
+
+func TestDirectHandoffCutsHandoffLatency(t *testing.T) {
+	// A convoy of writers: the direct grant travels one network transit
+	// instead of release-to-home plus grant, so the convoy completes
+	// sooner (message count is comparable; latency is the win).
+	run := func(direct bool) uint64 {
+		r := newRig(t, 8)
+		for _, u := range r.units {
+			u.DirectHandoff = direct
+		}
+		a := mem.Addr(17)
+		granted := 0
+		for i := 0; i < 8; i++ {
+			i := i
+			if err := r.units[i].Lock(a, msg.LockWrite, func() {
+				granted++
+				if err := r.units[i].Unlock(a, func() {}); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.run(t)
+		if granted != 8 {
+			t.Fatalf("granted = %d", granted)
+		}
+		return uint64(r.eng.Now())
+	}
+	withHome, withDirect := run(false), run(true)
+	if withDirect >= withHome {
+		t.Fatalf("direct handoff (%d cycles) not faster than home arbitration (%d)", withDirect, withHome)
+	}
+}
+
+func TestDirectHandoffMutualExclusionCounter(t *testing.T) {
+	// The full counter torture test with handoffs enabled: no lost
+	// increments, and the final value reaches memory.
+	r := handoffRig(t, 8)
+	a := mem.Addr(17)
+	const k = 10
+	remaining := make([]int, 8)
+	var pump func(node int)
+	pump = func(node int) {
+		if remaining[node] == 0 {
+			return
+		}
+		remaining[node]--
+		err := r.units[node].Lock(a, msg.LockWrite, func() {
+			v, err := r.units[node].ReadLocked(a)
+			if err != nil {
+				t.Error(err)
+			}
+			if err := r.units[node].WriteLocked(a, v+1); err != nil {
+				t.Error(err)
+			}
+			if err := r.units[node].Unlock(a, func() { pump(node) }); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	for n := 0; n < 8; n++ {
+		remaining[n] = k
+		pump(n)
+	}
+	r.run(t)
+	if got := r.homes[r.geom.Home(r.geom.BlockOf(a))].store.ReadWord(a); got != 8*k {
+		t.Fatalf("counter = %d, want %d", got, 8*k)
+	}
+	var handoffs uint64
+	for _, u := range r.units {
+		handoffs += u.DirectHandoffs
+	}
+	if handoffs == 0 {
+		t.Fatal("no direct handoffs occurred under a writer convoy")
+	}
+}
+
+// TestDeferredReleaseReordering drives the reordering path deterministically
+// by injecting the messages at the home out of order: a successor's release
+// and re-request arrive before the predecessor's handoff notification.
+func TestDeferredReleaseReordering(t *testing.T) {
+	r := handoffRig(t, 4)
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	home := r.homes[r.geom.Home(b)]
+
+	// Queue: node 1 holds, node 2 waits (write).
+	r.lock(t, 1, a, msg.LockWrite)
+	granted2 := false
+	if err := r.units[2].Lock(a, msg.LockWrite, func() { granted2 = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if granted2 {
+		t.Fatal("premature grant")
+	}
+
+	// Simulate the reordering: node 2's release (it WILL hold via the
+	// direct handoff) reaches the home first...
+	home.Handle(&msg.Msg{Kind: msg.LockDequeue, Src: 2, Block: b, Mode: msg.LockWrite})
+	// ...followed by a re-request from node 2...
+	home.Handle(&msg.Msg{Kind: msg.LockReq, Src: 2, Block: b, Mode: msg.LockWrite, Seq: 99})
+	r.run(t)
+	// Both must be deferred: node 2 is still a waiter in the home's view.
+	q := home.Queue(b)
+	if len(q) != 2 || q[1].Holding {
+		t.Fatalf("queue disturbed by premature messages: %+v", q)
+	}
+
+	// Now the handoff notification lands: node 1 releases directly.
+	home.Handle(&msg.Msg{Kind: msg.LockDequeue, Src: 1, Block: b, Mode: msg.LockWrite, Aux: 1})
+	r.run(t)
+	// Drain order: node 2 becomes holder, its deferred release applies,
+	// then its deferred re-request re-enters and is granted from memory.
+	q = home.Queue(b)
+	if len(q) != 1 || q[0].Node != 2 || !q[0].Holding {
+		t.Fatalf("after drain queue = %+v, want node 2 holding via re-request", q)
+	}
+}

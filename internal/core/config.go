@@ -1,0 +1,168 @@
+// Package core assembles the paper's machine architecture (§4, Figure 1):
+// per-node processor, private cache, write buffer and network controller,
+// the distributed main memory with its central directory, and the hardware
+// primitives of Table 1 — READ, WRITE, READ-GLOBAL, WRITE-GLOBAL,
+// READ-UPDATE, RESET-UPDATE, FLUSH-BUFFER, READ-LOCK, WRITE-LOCK, UNLOCK —
+// under either the buffered-consistency or the sequential-consistency
+// memory model. A write-back-invalidation machine (the paper's §5 baseline)
+// can be assembled instead, exposing coherent READ/WRITE plus an atomic
+// read-modify-write.
+package core
+
+import (
+	"fmt"
+
+	"ssmp/internal/fabric"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+	"ssmp/internal/wbuf"
+)
+
+// Protocol selects the machine's cache architecture.
+type Protocol uint8
+
+const (
+	// ProtoCBL is the paper's machine: reader-initiated update coherence,
+	// cache-based locks, hardware barrier, write buffer.
+	ProtoCBL Protocol = iota
+	// ProtoWBI is the write-back invalidation baseline with strongly
+	// consistent writes and an atomic RMW primitive.
+	ProtoWBI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoCBL:
+		return "CBL"
+	case ProtoWBI:
+		return "WBI"
+	}
+	return "proto?"
+}
+
+// Consistency selects the memory model for global writes on the CBL
+// machine.
+type Consistency uint8
+
+const (
+	// BC is buffered consistency (§2): global writes retire through the
+	// write buffer; the processor stalls only at FLUSH-BUFFER, which
+	// CP-Synch operations (unlock, barrier) issue implicitly.
+	BC Consistency = iota
+	// SC is sequential consistency: every global write stalls the
+	// processor until the memory acknowledgment arrives.
+	SC
+)
+
+// String names the consistency model.
+func (c Consistency) String() string {
+	switch c {
+	case BC:
+		return "BC"
+	case SC:
+		return "SC"
+	}
+	return "consistency?"
+}
+
+// Config parameterizes a Machine. DefaultConfig supplies the paper's
+// Table 4 values.
+type Config struct {
+	// Nodes is the number of processor/memory nodes (a power of two).
+	Nodes int
+	// BlockWords is the cache line / memory block size in words.
+	BlockWords int
+	// CacheSets and CacheWays size each node's private cache.
+	CacheSets, CacheWays int
+	// LockEntries sizes the fully-associative lock cache (CBL machine).
+	LockEntries int
+	// DirectHandoff lets a releasing write holder pass the lock grant
+	// (and data) straight to a waiting writer successor, one network
+	// transit per handoff (§4.3's structural fast path; ablation).
+	DirectHandoff bool
+	// WriteUpdate switches the CBL machine's coherence to classic
+	// sender-initiated write-update: read misses subscribe implicitly and
+	// forever (the Firefly/Dragon-style scheme §4.1 contrasts with the
+	// reader-initiated design; ablation).
+	WriteUpdate bool
+	// DirMaxPointers caps the WBI directory's sharer pointers (Dir-i-B);
+	// overflow degrades the entry to broadcast invalidation. 0 = full map.
+	DirMaxPointers int
+	// Topology selects the interconnect: the paper's Ω network (default)
+	// or a 2-D mesh.
+	Topology network.Topology
+	// Protocol selects the machine type.
+	Protocol Protocol
+	// Consistency selects SC or BC (CBL machine; WBI is always strongly
+	// consistent).
+	Consistency Consistency
+	// Timing holds the latency parameters (t_D, t_m, hit time).
+	Timing fabric.Timing
+	// SwitchDelay and LocalDelay parameterize the Ω network.
+	SwitchDelay sim.Time
+	LocalDelay  sim.Time
+	// IdealNetwork removes switch contention (ablation).
+	IdealNetwork bool
+	// DanceHall separates all memory from the processors (the Table 2
+	// analysis organization): even a block homed at this node's module is
+	// reached through the network, and private misses pay network transit.
+	DanceHall bool
+	// Buf configures the write buffer (the paper assumes unbounded).
+	Buf wbuf.Options
+	// Horizon aborts runs that exceed this many cycles (livelock guard).
+	Horizon sim.Time
+}
+
+// DefaultConfig returns the paper's simulation parameters (Table 4):
+// 4-word blocks, 1024-block caches, 4-cycle memory, unbounded write buffer.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		BlockWords:  4,
+		CacheSets:   512,
+		CacheWays:   2,
+		LockEntries: 16,
+		Protocol:    ProtoCBL,
+		Consistency: BC,
+		Timing:      fabric.DefaultTiming(),
+		SwitchDelay: 1,
+		LocalDelay:  1,
+		Horizon:     2_000_000_000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Nodes < 2 || c.Nodes&(c.Nodes-1) != 0 {
+		return fmt.Errorf("core: Nodes must be a power of two >= 2, got %d", c.Nodes)
+	}
+	if c.BlockWords < 1 || c.BlockWords > 64 {
+		return fmt.Errorf("core: BlockWords must be in [1,64], got %d", c.BlockWords)
+	}
+	if c.CacheSets < 1 || c.CacheSets&(c.CacheSets-1) != 0 {
+		return fmt.Errorf("core: CacheSets must be a power of two >= 1, got %d", c.CacheSets)
+	}
+	if c.CacheWays < 1 {
+		return fmt.Errorf("core: CacheWays must be >= 1, got %d", c.CacheWays)
+	}
+	if c.Protocol == ProtoCBL && c.LockEntries < 1 {
+		return fmt.Errorf("core: LockEntries must be >= 1, got %d", c.LockEntries)
+	}
+	if c.Horizon == 0 {
+		return fmt.Errorf("core: Horizon must be positive")
+	}
+	return nil
+}
+
+// netConfig derives the network configuration.
+func (c Config) netConfig() network.Config {
+	return network.Config{
+		Nodes:       c.Nodes,
+		SwitchDelay: c.SwitchDelay,
+		LocalDelay:  c.LocalDelay,
+		Ideal:       c.IdealNetwork,
+		DanceHall:   c.DanceHall,
+		Topology:    c.Topology,
+	}
+}

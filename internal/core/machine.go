@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ssmp/internal/barrier"
+	"ssmp/internal/cache"
+	"ssmp/internal/cbl"
+	"ssmp/internal/fabric"
+	"ssmp/internal/history"
+	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/ruc"
+	"ssmp/internal/sim"
+	"ssmp/internal/wbi"
+	"ssmp/internal/wbuf"
+)
+
+// node bundles one processor node's controllers. Exactly one of the CBL or
+// WBI controller sets is populated, per the machine's protocol.
+type node struct {
+	id    int
+	store *mem.Store
+	proc  *Proc
+
+	// CBL machine
+	rucN *ruc.Node
+	rucH *ruc.Home
+	cblU *cbl.Unit
+	cblH *cbl.Home
+	barU *barrier.Unit
+	barH *barrier.Home
+	buf  *wbuf.Buffer
+
+	// WBI machine
+	wbiN *wbi.Node
+	wbiH *wbi.Home
+}
+
+// Machine is a simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	net   *network.Network
+	fab   *fabric.Fabric
+	geom  mem.Geometry
+	nodes []*node
+
+	running  bool
+	finished int
+	hist     *history.Recorder
+	onOp     func(OpRecord)
+}
+
+// NewMachine builds a machine; it panics on an invalid configuration.
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	eng.SetHorizon(cfg.Horizon)
+	nw := network.New(eng, cfg.netConfig())
+	fab := fabric.New(eng, nw, cfg.Timing)
+	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}
+	m := &Machine{cfg: cfg, eng: eng, net: nw, fab: fab, geom: geom}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{id: i, store: mem.NewStore(geom)}
+		switch cfg.Protocol {
+		case ProtoCBL:
+			n.rucN = ruc.NewNode(fab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
+			n.rucH = ruc.NewHome(fab, i, geom, n.store)
+			n.rucH.WriteUpdateMode = cfg.WriteUpdate
+			n.cblU = cbl.NewUnit(fab, i, geom, cfg.LockEntries)
+			n.cblU.DirectHandoff = cfg.DirectHandoff
+			n.cblH = cbl.NewHome(fab, i, geom, n.store)
+			n.barU = barrier.NewUnit(fab, i, geom)
+			n.barH = barrier.NewHome(fab, i, geom)
+			n.buf = wbuf.New(eng, cfg.Buf, n.rucN.IssueWriteGlobal)
+			n.rucN.SetGlobalAckHandler(n.buf.Ack)
+		case ProtoWBI:
+			n.wbiN = wbi.NewNode(fab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
+			n.wbiH = wbi.NewHome(fab, i, geom, n.store)
+			n.wbiH.MaxPointers = cfg.DirMaxPointers
+		}
+		n.proc = newProc(m, n)
+		m.nodes = append(m.nodes, n)
+		i := i
+		nw.Attach(i, func(p any) { m.dispatch(i, p.(*msg.Msg)) })
+	}
+	return m
+}
+
+// dispatch routes an inbound message to the owning controller.
+func (m *Machine) dispatch(nodeID int, mg *msg.Msg) {
+	n := m.nodes[nodeID]
+	if m.cfg.Protocol == ProtoWBI {
+		if n.wbiH.Handles(mg.Kind) {
+			n.wbiH.Handle(mg)
+		} else {
+			n.wbiN.Handle(mg)
+		}
+		return
+	}
+	switch {
+	case mg.Kind == msg.SetPrevPtr || mg.Kind == msg.SetNextPtr:
+		// Lock-queue splices are flagged with a lock mode; update-chain
+		// splices are not.
+		if mg.Mode != msg.LockNone {
+			n.cblU.Handle(mg)
+		} else {
+			n.rucN.Handle(mg)
+		}
+	case n.cblH.Handles(mg.Kind):
+		n.cblH.Handle(mg)
+	case n.cblU.Handles(mg.Kind):
+		n.cblU.Handle(mg)
+	case n.barH.Handles(mg.Kind):
+		n.barH.Handle(mg)
+	case n.barU.Handles(mg.Kind):
+		n.barU.Handle(mg)
+	case n.rucH.Handles(mg.Kind):
+		n.rucH.Handle(mg)
+	case n.rucN.Handles(mg.Kind):
+		n.rucN.Handle(mg)
+	default:
+		panic(fmt.Sprintf("core: node %d cannot dispatch %v", nodeID, mg.Kind))
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Geometry returns the address-space geometry.
+func (m *Machine) Geometry() mem.Geometry { return m.geom }
+
+// Engine exposes the simulation engine (read-only use recommended).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Proc returns processor i's handle, for use inside its program function.
+func (m *Machine) Proc(i int) *Proc { return m.nodes[i].proc }
+
+// Messages returns the global message collector.
+func (m *Machine) Messages() *metrics.Collector { return m.fab.Coll }
+
+// EnableHistory turns on operation recording for linearizability checking:
+// every Read/Write/ReadGlobal/WriteGlobal/RMW is logged with its real-time
+// interval. Call before Run; check the returned recorder afterwards.
+func (m *Machine) EnableHistory() *history.Recorder {
+	m.hist = &history.Recorder{}
+	return m.hist
+}
+
+// TraceMessages writes one line per injected message to w — a debugging aid
+// showing cycle, kind, endpoints, block and payload size. Call before Run.
+func (m *Machine) TraceMessages(w io.Writer) {
+	m.fab.OnSend = func(mg *msg.Msg) {
+		fmt.Fprintf(w, "%10d %-18s %2d -> %2d block %-6d words %d\n",
+			m.eng.Now(), mg.Kind, mg.Src, mg.Dst, mg.Block, mg.Words())
+	}
+}
+
+// NetStats returns network-level statistics.
+func (m *Machine) NetStats() network.Stats { return m.net.Stats() }
+
+// ReadMemory reads a word directly from the owning memory module, outside
+// the simulation (for seeding and verification).
+func (m *Machine) ReadMemory(a mem.Addr) mem.Word {
+	return m.nodes[m.geom.Home(m.geom.BlockOf(a))].store.ReadWord(a)
+}
+
+// WriteMemory writes a word directly into the owning memory module, outside
+// the simulation (for seeding initial data).
+func (m *Machine) WriteMemory(a mem.Addr, w mem.Word) {
+	m.nodes[m.geom.Home(m.geom.BlockOf(a))].store.WriteWord(a, w)
+}
+
+// Program is the code executed by one simulated processor. It runs on a
+// dedicated goroutine interlocked with the event loop: at most one
+// goroutine is ever runnable, so programs may use ordinary Go control flow
+// and the Proc's blocking primitives without data races.
+type Program func(p *Proc)
+
+// Result summarizes a completed run.
+type Result struct {
+	// Cycles is the completion time: the clock when the last processor
+	// finished.
+	Cycles sim.Time
+	// Messages is the total network message count.
+	Messages uint64
+	// MeanNetLatency and MeanNetQueueing summarize network behaviour.
+	MeanNetLatency  float64
+	MeanNetQueueing float64
+	// MeanUtilization averages the per-processor useful-computation
+	// fraction (see ProcStats.Utilization) over processors that ran.
+	MeanUtilization float64
+}
+
+// ErrDeadlock is returned when the event queue drains with processors still
+// blocked (for example a lock that is never released).
+type ErrDeadlock struct{ Stuck []int }
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("core: deadlock — processors %v blocked with no pending events", e.Stuck)
+}
+
+// Run executes one program per processor to completion and returns the
+// run's metrics. Programs[i] runs on processor i; a nil entry idles that
+// processor. Run may be called once per Machine.
+func (m *Machine) Run(programs []Program) (Result, error) {
+	if m.running {
+		panic("core: Machine.Run called twice")
+	}
+	m.running = true
+	if len(programs) != m.cfg.Nodes {
+		panic(fmt.Sprintf("core: %d programs for %d nodes", len(programs), m.cfg.Nodes))
+	}
+	active := 0
+	for i, prog := range programs {
+		if prog == nil {
+			m.nodes[i].proc.done = true
+			continue
+		}
+		active++
+		m.nodes[i].proc.start(prog)
+	}
+	m.finished = m.cfg.Nodes - active
+	if err := m.eng.Run(); err != nil {
+		return Result{}, fmt.Errorf("core: %w at cycle %d", err, m.eng.Now())
+	}
+	if m.finished < m.cfg.Nodes {
+		var stuck []int
+		for _, n := range m.nodes {
+			if !n.proc.done {
+				stuck = append(stuck, n.id)
+			}
+		}
+		return Result{}, &ErrDeadlock{Stuck: stuck}
+	}
+	for _, n := range m.nodes {
+		if n.proc.err != nil {
+			return Result{}, fmt.Errorf("core: processor %d panicked: %v", n.id, n.proc.err)
+		}
+	}
+	st := m.net.Stats()
+	var utilSum float64
+	var utilN int
+	for i, prog := range programs {
+		if prog == nil {
+			continue
+		}
+		utilSum += m.nodes[i].proc.Stats().Utilization()
+		utilN++
+	}
+	res := Result{
+		Cycles:          m.eng.Now(),
+		Messages:        m.fab.Coll.Total(),
+		MeanNetLatency:  st.MeanLatency(),
+		MeanNetQueueing: st.MeanQueueing(),
+	}
+	if utilN > 0 {
+		res.MeanUtilization = utilSum / float64(utilN)
+	}
+	return res, nil
+}

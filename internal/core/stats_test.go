@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+)
+
+func TestUtilizationBounds(t *testing.T) {
+	m := NewMachine(cblConfig(4))
+	progs := make([]Program, 4)
+	for i := 0; i < 4; i++ {
+		progs[i] = func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				p.WriteLock(100)
+				p.Think(20)
+				p.Unlock(100)
+			}
+		}
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanUtilization <= 0 || res.MeanUtilization >= 1 {
+		t.Fatalf("MeanUtilization = %v, want in (0,1)", res.MeanUtilization)
+	}
+	for i := 0; i < 4; i++ {
+		st := m.Proc(i).Stats()
+		if st.Busy == 0 || st.SyncStall == 0 {
+			t.Fatalf("proc %d stats = %+v, want busy and sync-stall time", i, st)
+		}
+		if st.Finished == 0 {
+			t.Fatalf("proc %d Finished not recorded", i)
+		}
+	}
+}
+
+func TestUtilizationDropsUnderContention(t *testing.T) {
+	run := func(procs int) float64 {
+		m := NewMachine(cblConfig(procs))
+		progs := make([]Program, procs)
+		for i := 0; i < procs; i++ {
+			progs[i] = func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					p.WriteLock(100)
+					p.Think(30)
+					p.Unlock(100)
+				}
+			}
+		}
+		res, err := m.Run(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanUtilization
+	}
+	u2, u16 := run(2), run(16)
+	if u16 >= u2 {
+		t.Fatalf("utilization did not drop with contention: %v (2p) vs %v (16p)", u2, u16)
+	}
+}
+
+func TestMemStallAccounting(t *testing.T) {
+	cfg := cblConfig(4)
+	cfg.Consistency = SC
+	m := NewMachine(cfg)
+	progs := make([]Program, 4)
+	progs[0] = func(p *Proc) {
+		for k := 0; k < 20; k++ {
+			p.WriteGlobal(mem.Addr(1000+8*k), 1) // SC: stalls on every ack
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Proc(0).Stats(); st.MemStall == 0 {
+		t.Fatalf("SC global writes recorded no memory stall: %+v", st)
+	}
+}
+
+func TestDanceHallCostsMore(t *testing.T) {
+	run := func(danceHall bool) uint64 {
+		cfg := cblConfig(4)
+		cfg.DanceHall = danceHall
+		m := NewMachine(cfg)
+		progs := make([]Program, 4)
+		for i := 0; i < 4; i++ {
+			progs[i] = func(p *Proc) {
+				for k := 0; k < 50; k++ {
+					p.PrivateRef(false, false) // misses pay the memory path
+				}
+			}
+		}
+		res, err := m.Run(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Cycles)
+	}
+	distributed, dance := run(false), run(true)
+	if dance <= distributed {
+		t.Fatalf("dance-hall (%d) not slower than distributed (%d)", dance, distributed)
+	}
+}
+
+func TestDanceHallRoutesLocalTrafficThroughNetwork(t *testing.T) {
+	cfg := cblConfig(4)
+	cfg.DanceHall = true
+	m := NewMachine(cfg)
+	progs := make([]Program, 4)
+	progs[0] = func(p *Proc) {
+		// Block 0 is homed at node 0: normally a local bypass.
+		p.ReadGlobal(m.Geometry().BaseAddr(0))
+	}
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.NetStats(); st.Local != 0 || st.Messages == 0 {
+		t.Fatalf("dance-hall stats = %+v, want all traffic through the network", st)
+	}
+}

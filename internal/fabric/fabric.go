@@ -1,0 +1,88 @@
+// Package fabric wires the protocol controllers to the interconnection
+// network: it stamps and counts every message, applies the paper's timing
+// parameters (t_D for a directory check, t_m for a main-memory block access),
+// and provides the per-node service resources that serialize directory
+// processing.
+package fabric
+
+import (
+	"ssmp/internal/metrics"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+)
+
+// Timing holds the machine's latency parameters in cycles, named after the
+// paper's cost-model symbols (§5.1, Table 4).
+type Timing struct {
+	// CacheHit is the cost of a cache hit (one cache cycle).
+	CacheHit sim.Time
+	// TDir is t_D: the time to check the central directory or a cache
+	// directory.
+	TDir sim.Time
+	// TMem is t_m: the main-memory cycle time for reading a block
+	// (Table 4: 4 cache cycles).
+	TMem sim.Time
+}
+
+// DefaultTiming returns the Table 4 parameter values.
+func DefaultTiming() Timing {
+	return Timing{CacheHit: 1, TDir: 1, TMem: 4}
+}
+
+// Fabric bundles the engine, the network, the timing parameters, and the
+// global message collector.
+type Fabric struct {
+	Eng  *sim.Engine
+	Net  *network.Network
+	Time Timing
+	Coll *metrics.Collector
+	// OnSend, when set, observes every message at injection time (message
+	// tracing / debugging). It must not mutate the message.
+	OnSend func(*msg.Msg)
+}
+
+// New builds a fabric over an engine and network.
+func New(eng *sim.Engine, net *network.Network, t Timing) *Fabric {
+	return &Fabric{Eng: eng, Net: net, Time: t, Coll: &metrics.Collector{}}
+}
+
+// Send counts and transmits a message. The message's Words() determine its
+// network occupancy.
+func (f *Fabric) Send(m *msg.Msg) {
+	f.Coll.Count(m.Kind)
+	if f.OnSend != nil {
+		f.OnSend(m)
+	}
+	f.Net.Send(m.Src, m.Dst, m.Words(), m)
+}
+
+// Station is a per-node message-processing front end: incoming messages are
+// serialized through a directory-check resource (t_D each) before their
+// handler runs. Both cache directories and the central directory use one.
+type Station struct {
+	f   *Fabric
+	res sim.Resource
+}
+
+// NewStation returns a station on the fabric.
+func NewStation(f *Fabric) *Station { return &Station{f: f} }
+
+// Process schedules fn after the station's directory-check delay, honoring
+// queueing at the directory.
+func (s *Station) Process(fn func()) {
+	done := s.res.Acquire(s.f.Eng.Now(), s.f.Time.TDir)
+	s.f.Eng.At(done, fn)
+}
+
+// ProcessAfter schedules fn after the directory check plus an extra delay
+// (e.g. t_m for a memory block read). The station is occupied for the whole
+// duration: the directory and its memory module service one transaction at
+// a time.
+func (s *Station) ProcessAfter(extra sim.Time, fn func()) {
+	done := s.res.Acquire(s.f.Eng.Now(), s.f.Time.TDir+extra)
+	s.f.Eng.At(done, fn)
+}
+
+// Busy returns the cycles the station has been occupied.
+func (s *Station) Busy() sim.Time { return s.res.Busy }

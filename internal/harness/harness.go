@@ -1,0 +1,268 @@
+// Package harness reproduces the paper's evaluation (§5): the four
+// simulation figures and simulated counterparts of the two analytical
+// tables.
+//
+//   - Figure 4: completion time vs processors, medium-granularity
+//     parallelism — WBI and CBL under the sync workload model, and Q-WBI,
+//     Q-backoff, Q-CBL under the work-queue model.
+//   - Figure 5: the same at coarse granularity.
+//   - Figure 6: BC-CBL vs SC-CBL (buffered vs sequential consistency),
+//     fine granularity, work-queue model.
+//   - Figure 7: the same at medium granularity.
+//   - Table 2: linear-solver network traffic, measured by running the
+//     solver on the simulated machines next to the closed-form model.
+//   - Table 3: synchronization scenario costs, measured by running the
+//     scenarios on the simulated machines next to the closed-form model.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+	"ssmp/internal/workload"
+)
+
+// Options parameterize the experiment sweeps.
+type Options struct {
+	// Procs is the processor-count sweep (powers of two).
+	Procs []int
+	// Episodes is the sync model's episodes per processor.
+	Episodes int
+	// Tasks is the work-queue model's initial task count.
+	Tasks int
+	// SpawnProb is the work-queue model's task-spawn probability.
+	SpawnProb float64
+	// Seed drives all workload randomness.
+	Seed uint64
+	// Params supplies Table 4 parameters; the grain is overridden per
+	// figure.
+	Params workload.Params
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultOptions returns the sweep used by the committed experiment runs.
+func DefaultOptions() Options {
+	return Options{
+		Procs:     []int{2, 4, 8, 16, 32, 64},
+		Episodes:  8,
+		Tasks:     128,
+		SpawnProb: 0.2,
+		Seed:      42,
+		Params:    workload.DefaultParams(),
+	}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Figure is one reproduced figure: completion-time series over processor
+// count.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	Series []*metrics.Series
+}
+
+// Table renders the figure as an aligned text table.
+func (f Figure) Table() string {
+	return fmt.Sprintf("%s: %s\n%s", f.Name, f.Title, metrics.FormatTable(f.XLabel, f.Series))
+}
+
+// CSV renders the figure as CSV.
+func (f Figure) CSV() string { return metrics.FormatCSV(f.XLabel, f.Series) }
+
+func (o Options) config(procs int, proto core.Protocol, cons core.Consistency) core.Config {
+	cfg := core.DefaultConfig(procs)
+	cfg.Protocol = proto
+	cfg.Consistency = cons
+	return cfg
+}
+
+// runSync runs the sync workload model and returns completion cycles.
+func (o Options) runSync(procs int, proto core.Protocol, cons core.Consistency, grain int) float64 {
+	p := o.Params
+	p.Grain = grain
+	cfg := o.config(procs, proto, cons)
+	layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	var kit workload.SyncKit
+	if proto == core.ProtoCBL {
+		kit = workload.CBLKit(layout, procs)
+	} else {
+		kit = workload.WBIKit(layout, procs, false)
+	}
+	progs := workload.SyncModel(procs, o.Episodes, p, layout, kit, o.Seed)
+	res, err := workload.Run(cfg, progs)
+	if err != nil {
+		panic(fmt.Sprintf("harness: sync model %v/%v p=%d: %v", proto, cons, procs, err))
+	}
+	o.logf("  sync %v %v procs=%d grain=%d: %d cycles, %d msgs", proto, cons, procs, grain, res.Cycles, res.Messages)
+	return float64(res.Cycles)
+}
+
+// runQueue runs the work-queue model and returns completion cycles.
+func (o Options) runQueue(procs int, proto core.Protocol, cons core.Consistency, grain int, backoff bool) float64 {
+	p := o.Params
+	p.Grain = grain
+	cfg := o.config(procs, proto, cons)
+	layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	var kit workload.SyncKit
+	if proto == core.ProtoCBL {
+		kit = workload.CBLKit(layout, procs)
+	} else {
+		kit = workload.WBIKit(layout, procs, backoff)
+	}
+	progs, _ := workload.WorkQueue(procs, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
+	res, err := workload.Run(cfg, progs)
+	if err != nil {
+		panic(fmt.Sprintf("harness: work-queue %s p=%d: %v", kit.Name, procs, err))
+	}
+	o.logf("  queue %s %v procs=%d grain=%d: %d cycles, %d msgs", kit.Name, cons, procs, grain, res.Cycles, res.Messages)
+	return float64(res.Cycles)
+}
+
+// cacheSchemesFigure builds Figures 4 and 5: WBI vs CBL on both workload
+// models, without buffered consistency (the paper runs these under SC).
+func (o Options) cacheSchemesFigure(name, title string, grain int) Figure {
+	wbiS := &metrics.Series{Name: "WBI"}
+	cblS := &metrics.Series{Name: "CBL"}
+	qWBI := &metrics.Series{Name: "Q-WBI"}
+	qBack := &metrics.Series{Name: "Q-backoff"}
+	qCBL := &metrics.Series{Name: "Q-CBL"}
+	for _, n := range o.Procs {
+		x := float64(n)
+		wbiS.Add(x, o.runSync(n, core.ProtoWBI, core.SC, grain))
+		cblS.Add(x, o.runSync(n, core.ProtoCBL, core.SC, grain))
+		qWBI.Add(x, o.runQueue(n, core.ProtoWBI, core.SC, grain, false))
+		qBack.Add(x, o.runQueue(n, core.ProtoWBI, core.SC, grain, true))
+		qCBL.Add(x, o.runQueue(n, core.ProtoCBL, core.SC, grain, false))
+	}
+	return Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "procs",
+		Series: []*metrics.Series{wbiS, cblS, qWBI, qBack, qCBL},
+	}
+}
+
+// Figure4 reproduces Figure 4: cache schemes at medium granularity.
+func (o Options) Figure4() Figure {
+	return o.cacheSchemesFigure("Figure 4",
+		"completion time of cache schemes, medium-granularity parallelism",
+		workload.MediumGrain)
+}
+
+// Figure5 reproduces Figure 5: cache schemes at coarse granularity.
+func (o Options) Figure5() Figure {
+	return o.cacheSchemesFigure("Figure 5",
+		"completion time of cache schemes, coarse-granularity parallelism",
+		workload.CoarseGrain)
+}
+
+// consistencyFigure builds Figures 6 and 7: BC-CBL vs SC-CBL on the
+// work-queue model.
+func (o Options) consistencyFigure(name, title string, grain int) Figure {
+	sc := &metrics.Series{Name: "SC-CBL"}
+	bc := &metrics.Series{Name: "BC-CBL"}
+	for _, n := range o.Procs {
+		x := float64(n)
+		sc.Add(x, o.runQueue(n, core.ProtoCBL, core.SC, grain, false))
+		bc.Add(x, o.runQueue(n, core.ProtoCBL, core.BC, grain, false))
+	}
+	return Figure{Name: name, Title: title, XLabel: "procs",
+		Series: []*metrics.Series{sc, bc}}
+}
+
+// Figure6 reproduces Figure 6: buffered vs sequential consistency at fine
+// granularity.
+func (o Options) Figure6() Figure {
+	return o.consistencyFigure("Figure 6",
+		"buffered vs sequential consistency, fine-granularity parallelism",
+		workload.FineGrain)
+}
+
+// Figure7 reproduces Figure 7: buffered vs sequential consistency at
+// medium granularity.
+func (o Options) Figure7() Figure {
+	return o.consistencyFigure("Figure 7",
+		"buffered vs sequential consistency, medium-granularity parallelism",
+		workload.MediumGrain)
+}
+
+// Figures runs every figure.
+func (o Options) Figures() []Figure {
+	return []Figure{o.Figure4(), o.Figure5(), o.Figure6(), o.Figure7()}
+}
+
+// UtilizationFigure is an extension beyond the paper: mean processor
+// utilization (useful-computation fraction) against processor count on the
+// work-queue model, for the same five configurations as Figure 4. The
+// paper remarks that utilization can mislead — "synchronization activities
+// may keep the processor busy without performing any useful computation"
+// (§5.2) — and this figure quantifies it: the WBI spin-lock machines burn
+// cycles re-reading the lock word, which our accounting splits out as
+// stall, not useful work.
+func (o Options) UtilizationFigure(grain int) Figure {
+	type cfgRow struct {
+		name    string
+		proto   core.Protocol
+		backoff bool
+	}
+	rows := []cfgRow{
+		{"Q-CBL", core.ProtoCBL, false},
+		{"Q-WBI", core.ProtoWBI, false},
+		{"Q-backoff", core.ProtoWBI, true},
+	}
+	var series []*metrics.Series
+	for _, rw := range rows {
+		s := &metrics.Series{Name: rw.name}
+		for _, n := range o.Procs {
+			p := o.Params
+			p.Grain = grain
+			cfg := o.config(n, rw.proto, core.SC)
+			layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: n}, p)
+			var kit workload.SyncKit
+			if rw.proto == core.ProtoCBL {
+				kit = workload.CBLKit(layout, n)
+			} else {
+				kit = workload.WBIKit(layout, n, rw.backoff)
+			}
+			progs, _ := workload.WorkQueue(n, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
+			res, err := workload.Run(cfg, progs)
+			if err != nil {
+				panic(fmt.Sprintf("harness: utilization %s p=%d: %v", rw.name, n, err))
+			}
+			s.Add(float64(n), 100*res.MeanUtilization)
+			o.logf("  util %s procs=%d: %.1f%%", rw.name, n, 100*res.MeanUtilization)
+		}
+		series = append(series, s)
+	}
+	return Figure{
+		Name:   "Utilization",
+		Title:  "mean processor utilization (%), work-queue model (extension)",
+		XLabel: "procs",
+		Series: series,
+	}
+}
+
+// FigureByNumber runs one figure (4-7).
+func (o Options) FigureByNumber(n int) (Figure, error) {
+	switch n {
+	case 4:
+		return o.Figure4(), nil
+	case 5:
+		return o.Figure5(), nil
+	case 6:
+		return o.Figure6(), nil
+	case 7:
+		return o.Figure7(), nil
+	}
+	return Figure{}, fmt.Errorf("harness: no figure %d (the paper has Figures 4-7)", n)
+}

@@ -1,0 +1,178 @@
+// Package history records per-processor memory operations with their
+// real-time intervals and checks each address's history for
+// linearizability — the formal version of the coherence guarantee the WBI
+// machine makes and the buffered-consistency machine deliberately does not
+// (§2 of the paper).
+//
+// The checker treats each address as an atomic read/write register. An
+// operation occupies the interval [Start, End] of simulated time; a history
+// is linearizable if every operation can be assigned a linearization point
+// inside its interval such that the resulting sequence is a legal register
+// history (every read returns the most recently written value).
+//
+// The implementation is the classic Wing & Gong backtracking search over
+// minimal operations, adequate for the test-sized histories the machine
+// produces. Histories of distinct addresses are checked independently
+// (coherence is a per-location property).
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/sim"
+)
+
+// Op is one recorded memory operation.
+type Op struct {
+	// Proc is the issuing processor.
+	Proc int
+	// Write marks a write (or the write half of an RMW).
+	Write bool
+	// RMW marks an atomic read-modify-write; Value is the value written,
+	// Prev the value read.
+	RMW bool
+	// Addr is the word address.
+	Addr mem.Addr
+	// Value is the value written (writes) or returned (reads).
+	Value mem.Word
+	// Prev is the value an RMW observed.
+	Prev mem.Word
+	// Start and End bound the operation in simulated time.
+	Start, End sim.Time
+}
+
+func (o Op) String() string {
+	switch {
+	case o.RMW:
+		return fmt.Sprintf("P%d RMW a%d %d->%d [%d,%d]", o.Proc, o.Addr, o.Prev, o.Value, o.Start, o.End)
+	case o.Write:
+		return fmt.Sprintf("P%d W a%d=%d [%d,%d]", o.Proc, o.Addr, o.Value, o.Start, o.End)
+	default:
+		return fmt.Sprintf("P%d R a%d=%d [%d,%d]", o.Proc, o.Addr, o.Value, o.Start, o.End)
+	}
+}
+
+// Recorder accumulates operations. It is single-threaded like the
+// simulation itself.
+type Recorder struct {
+	ops []Op
+}
+
+// Record appends one operation.
+func (r *Recorder) Record(op Op) { r.ops = append(r.ops, op) }
+
+// Ops returns the recorded operations.
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// CheckLinearizable verifies every address's history independently,
+// assuming the addressed words start at initial value 0. It returns nil if
+// all histories are linearizable, or an error naming the first address that
+// is not.
+func (r *Recorder) CheckLinearizable() error {
+	byAddr := map[mem.Addr][]Op{}
+	for _, op := range r.ops {
+		byAddr[op.Addr] = append(byAddr[op.Addr], op)
+	}
+	addrs := make([]mem.Addr, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if !linearizable(byAddr[a]) {
+			return fmt.Errorf("history: address %d not linearizable (%d ops)", a, len(byAddr[a]))
+		}
+	}
+	return nil
+}
+
+// linearizable runs the Wing-Gong search on one address's history.
+func linearizable(ops []Op) bool {
+	// Sort by start time for a stable exploration order.
+	ops = append([]Op(nil), ops...)
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].End < ops[j].End
+	})
+	done := make([]bool, len(ops))
+	memo := make(map[string]bool)
+	return search(ops, done, 0, len(ops), memo)
+}
+
+// key encodes (done set, current value) for memoization.
+func stateKey(done []bool, val mem.Word) string {
+	b := make([]byte, 0, len(done)+9)
+	for _, d := range done {
+		if d {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	b = append(b, '|')
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(val>>(8*i)))
+	}
+	return string(b)
+}
+
+// search tries to linearize the remaining operations given the register
+// currently holds val. An operation is "minimal" (eligible to linearize
+// next) if no other pending operation ended before it started.
+func search(ops []Op, done []bool, val mem.Word, remaining int, memo map[string]bool) bool {
+	if remaining == 0 {
+		return true
+	}
+	k := stateKey(done, val)
+	if v, ok := memo[k]; ok {
+		return v
+	}
+	// The earliest end among pending ops bounds minimality: a pending op
+	// is minimal iff its Start <= that minimum End.
+	minEnd := sim.Infinity
+	for i, op := range ops {
+		if !done[i] && op.End < minEnd {
+			minEnd = op.End
+		}
+	}
+	ok := false
+	for i, op := range ops {
+		if done[i] || op.Start > minEnd {
+			continue
+		}
+		// Try linearizing op next.
+		var next mem.Word
+		legal := false
+		switch {
+		case op.RMW:
+			if op.Prev == val {
+				next, legal = op.Value, true
+			}
+		case op.Write:
+			next, legal = op.Value, true
+		default: // read
+			if op.Value == val {
+				next, legal = val, true
+			}
+		}
+		if !legal {
+			continue
+		}
+		done[i] = true
+		if search(ops, done, next, remaining-1, memo) {
+			done[i] = false
+			ok = true
+			break
+		}
+		done[i] = false
+	}
+	memo[k] = ok
+	return ok
+}

@@ -1,0 +1,154 @@
+package history
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/sim"
+)
+
+func w(proc int, a mem.Addr, v mem.Word, s, e uint64) Op {
+	return Op{Proc: proc, Write: true, Addr: a, Value: v, Start: sim.Time(s), End: sim.Time(e)}
+}
+
+func rd(proc int, a mem.Addr, v mem.Word, s, e uint64) Op {
+	return Op{Proc: proc, Addr: a, Value: v, Start: sim.Time(s), End: sim.Time(e)}
+}
+
+func rmw(proc int, a mem.Addr, prev, v mem.Word, s, e uint64) Op {
+	return Op{Proc: proc, Write: true, RMW: true, Addr: a, Prev: prev, Value: v, Start: sim.Time(s), End: sim.Time(e)}
+}
+
+func check(t *testing.T, ops []Op, want bool) {
+	t.Helper()
+	r := &Recorder{}
+	for _, op := range ops {
+		r.Record(op)
+	}
+	err := r.CheckLinearizable()
+	if want && err != nil {
+		t.Fatalf("expected linearizable, got %v", err)
+	}
+	if !want && err == nil {
+		t.Fatal("expected violation, got linearizable")
+	}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	check(t, []Op{
+		w(0, 1, 5, 0, 10),
+		rd(1, 1, 5, 20, 30),
+		w(1, 1, 7, 40, 50),
+		rd(0, 1, 7, 60, 70),
+	}, true)
+}
+
+func TestInitialZeroRead(t *testing.T) {
+	check(t, []Op{rd(0, 1, 0, 0, 5)}, true)
+	check(t, []Op{rd(0, 1, 3, 0, 5)}, false)
+}
+
+func TestStaleReadViolates(t *testing.T) {
+	// The write completed strictly before the read started, yet the read
+	// returned the old value.
+	check(t, []Op{
+		w(0, 1, 5, 0, 10),
+		rd(1, 1, 0, 20, 30),
+	}, false)
+}
+
+func TestConcurrentOverlapAllowsEitherOrder(t *testing.T) {
+	// The read overlaps the write: either value is legal.
+	check(t, []Op{
+		w(0, 1, 5, 10, 30),
+		rd(1, 1, 0, 5, 20),
+	}, true)
+	check(t, []Op{
+		w(0, 1, 5, 10, 30),
+		rd(1, 1, 5, 5, 35),
+	}, true)
+}
+
+func TestLostUpdateViolates(t *testing.T) {
+	// Two sequential RMW increments must both take effect.
+	check(t, []Op{
+		rmw(0, 1, 0, 1, 0, 10),
+		rmw(1, 1, 0, 1, 20, 30), // claims to have seen 0 after the first completed
+	}, false)
+	check(t, []Op{
+		rmw(0, 1, 0, 1, 0, 10),
+		rmw(1, 1, 1, 2, 20, 30),
+	}, true)
+}
+
+func TestConcurrentRMWsSerialize(t *testing.T) {
+	// Overlapping RMWs: some order must explain both.
+	check(t, []Op{
+		rmw(0, 1, 0, 1, 0, 30),
+		rmw(1, 1, 1, 2, 5, 25),
+	}, true)
+	// Both claiming to have seen 0 cannot serialize.
+	check(t, []Op{
+		rmw(0, 1, 0, 1, 0, 30),
+		rmw(1, 1, 0, 1, 5, 25),
+	}, false)
+}
+
+func TestAddressesIndependent(t *testing.T) {
+	// A violation on one address is reported even when another is fine.
+	check(t, []Op{
+		w(0, 1, 5, 0, 10),
+		rd(1, 1, 5, 20, 30),
+		w(0, 2, 9, 0, 10),
+		rd(1, 2, 0, 20, 30), // stale on address 2
+	}, false)
+}
+
+func TestWriteOrderAmbiguityResolvedByRead(t *testing.T) {
+	// Two overlapping writes then a read: the read pins the winner.
+	check(t, []Op{
+		w(0, 1, 5, 0, 20),
+		w(1, 1, 7, 10, 30),
+		rd(0, 1, 5, 40, 50), // 5 won: 7 must have linearized first
+	}, true)
+	check(t, []Op{
+		w(0, 1, 5, 0, 20),
+		w(1, 1, 7, 10, 30),
+		rd(0, 1, 7, 40, 50),
+	}, true)
+	check(t, []Op{
+		w(0, 1, 5, 0, 20),
+		w(1, 1, 7, 10, 30),
+		rd(0, 1, 9, 40, 50), // value never written
+	}, false)
+}
+
+func TestEmptyHistory(t *testing.T) {
+	r := &Recorder{}
+	if err := r.CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("empty recorder has ops")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if s := w(0, 1, 5, 0, 10).String(); s == "" {
+		t.Fatal("empty write string")
+	}
+	if s := rd(0, 1, 5, 0, 10).String(); s == "" {
+		t.Fatal("empty read string")
+	}
+	if s := rmw(0, 1, 0, 1, 0, 10).String(); s == "" {
+		t.Fatal("empty rmw string")
+	}
+}
+
+func TestRecorderOps(t *testing.T) {
+	r := &Recorder{}
+	r.Record(w(0, 1, 5, 0, 10))
+	if len(r.Ops()) != 1 || !r.Ops()[0].Write {
+		t.Fatal("Ops accessor wrong")
+	}
+}

@@ -1,0 +1,233 @@
+// Package metrics collects the evaluation counters reported in the paper's
+// §5: message counts by kind and by cost class (C_R, C_W, C_I, C_B),
+// completion times, and simple distributions (for network latency and lock
+// wait times).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssmp/internal/msg"
+)
+
+// Collector accumulates message counts. The zero value is ready to use.
+type Collector struct {
+	byKind  [msg.NumKinds]uint64
+	byClass [msg.NumClasses]uint64
+	total   uint64
+}
+
+// Count records one message of kind k.
+func (c *Collector) Count(k msg.Kind) {
+	c.byKind[k]++
+	c.byClass[msg.ClassOf(k)]++
+	c.total++
+}
+
+// Add merges another collector into this one.
+func (c *Collector) Add(o *Collector) {
+	for i := range c.byKind {
+		c.byKind[i] += o.byKind[i]
+	}
+	for i := range c.byClass {
+		c.byClass[i] += o.byClass[i]
+	}
+	c.total += o.total
+}
+
+// Total returns the total message count.
+func (c *Collector) Total() uint64 { return c.total }
+
+// Kind returns the count for one message kind.
+func (c *Collector) Kind(k msg.Kind) uint64 { return c.byKind[k] }
+
+// Class returns the count for one cost class.
+func (c *Collector) Class(cl msg.Class) uint64 { return c.byClass[cl] }
+
+// Reset zeroes all counters.
+func (c *Collector) Reset() { *c = Collector{} }
+
+// String renders the nonzero kinds, most frequent first.
+func (c *Collector) String() string {
+	type kv struct {
+		k msg.Kind
+		n uint64
+	}
+	var rows []kv
+	for k := 1; k < msg.NumKinds; k++ {
+		if c.byKind[k] > 0 {
+			rows = append(rows, kv{msg.Kind(k), c.byKind[k]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages=%d", c.total)
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %s=%d", r.k, r.n)
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket distribution with power-of-two bucket
+// boundaries: bucket i counts samples in [2^i, 2^(i+1)), bucket 0 counts
+// zeros and ones.
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records a sample.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for x := v; x > 1 && i < len(h.buckets)-1; x >>= 1 {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) given the
+// bucket resolution.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve, e.g. one line of Figure 4.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Y returns the y value at the given x, or NaN-free fallback 0 if absent.
+func (s *Series) Y(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// FormatTable renders a set of series sharing x values as an aligned text
+// table with the x column first, suitable for terminal output and for
+// EXPERIMENTS.md.
+func FormatTable(xLabel string, series []*Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-10g", x)
+		for _, s := range series {
+			if y, ok := s.Y(x); ok {
+				fmt.Fprintf(&b, " %14.1f", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatCSV renders the same data as CSV for plotting.
+func FormatCSV(xLabel string, series []*Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			if y, ok := s.Y(x); ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/msg"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	var c Collector
+	c.Count(msg.LockReq)
+	c.Count(msg.LockReq)
+	c.Count(msg.LockGrant)
+	if c.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", c.Total())
+	}
+	if c.Kind(msg.LockReq) != 2 {
+		t.Fatalf("Kind(LockReq) = %d, want 2", c.Kind(msg.LockReq))
+	}
+	if c.Class(msg.Control) != 2 || c.Class(msg.BlockXfer) != 1 {
+		t.Fatalf("class counts wrong: C_R=%d C_B=%d", c.Class(msg.Control), c.Class(msg.BlockXfer))
+	}
+}
+
+func TestCollectorAddAndReset(t *testing.T) {
+	var a, b Collector
+	a.Count(msg.GetS)
+	b.Count(msg.GetX)
+	b.Count(msg.Inv)
+	a.Add(&b)
+	if a.Total() != 3 || a.Kind(msg.Inv) != 1 {
+		t.Fatalf("after Add: total=%d inv=%d", a.Total(), a.Kind(msg.Inv))
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Kind(msg.GetS) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCollectorString(t *testing.T) {
+	var c Collector
+	c.Count(msg.Inv)
+	c.Count(msg.Inv)
+	c.Count(msg.GetS)
+	s := c.String()
+	if !strings.Contains(s, "messages=3") || !strings.Contains(s, "inv=2") {
+		t.Fatalf("String() = %q", s)
+	}
+	// Most frequent kind listed first.
+	if strings.Index(s, "inv=2") > strings.Index(s, "gets=1") {
+		t.Fatalf("ordering wrong: %q", s)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{1, 2, 4, 8, 16} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 6.2 {
+		t.Fatalf("Mean = %v, want 6.2", h.Mean())
+	}
+	if h.Max() != 16 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+}
+
+// Property: quantile upper bounds are monotone in q and bounded below by 1.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(uint64(s))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "CBL"
+	s.Add(2, 100)
+	s.Add(4, 180)
+	if y, ok := s.Y(4); !ok || y != 180 {
+		t.Fatalf("Y(4) = %v %v", y, ok)
+	}
+	if _, ok := s.Y(8); ok {
+		t.Fatal("Y(8) should be absent")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	a := &Series{Name: "WBI"}
+	a.Add(2, 10)
+	a.Add(4, 40)
+	b := &Series{Name: "CBL"}
+	b.Add(2, 8)
+	out := FormatTable("procs", []*Series{a, b})
+	if !strings.Contains(out, "procs") || !strings.Contains(out, "WBI") || !strings.Contains(out, "CBL") {
+		t.Fatalf("header missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("missing value should render as '-': %q", lines[2])
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	a := &Series{Name: "SC"}
+	a.Add(2, 10.5)
+	out := FormatCSV("p", []*Series{a})
+	want := "p,SC\n2,10.5\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

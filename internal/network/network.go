@@ -1,0 +1,280 @@
+// Package network models the multistage Ω (omega) interconnection network of
+// the paper's evaluation (§5.2): nodes connected through log2(N) stages of
+// two-way (2x2) switches with infinite buffering at every switching element.
+//
+// Contention is modeled at switch output ports: each (stage, line) output is
+// a serially-reusable resource, so two messages whose destination-tag routes
+// share an output line queue behind each other. Because buffers are
+// infinite, messages are only ever delayed, never dropped.
+//
+// Message cost follows the paper's cost taxonomy: a transaction carrying no
+// data (C_R), a word transfer (C_W), an invalidation (C_I) and a block
+// transfer (C_B) differ only in the number of flits they occupy on each
+// output port. Size is expressed in words; control messages have size 0 and
+// occupy one flit.
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ssmp/internal/sim"
+)
+
+// Config parameterizes the network.
+type Config struct {
+	// Nodes is the number of processor/memory nodes; it must be a power of
+	// two and at least 2.
+	Nodes int
+	// SwitchDelay is the per-stage occupancy, in cycles, of a one-flit
+	// message. A message of size w words occupies each port for
+	// SwitchDelay * max(1, w) cycles.
+	SwitchDelay sim.Time
+	// LocalDelay is the latency of a message from a node to its own memory
+	// module, which bypasses the network (the memory is distributed among
+	// the nodes).
+	LocalDelay sim.Time
+	// Ideal disables contention: messages take the uncontended pipeline
+	// latency regardless of load. Used for ablation studies.
+	Ideal bool
+	// DanceHall places all memory on the far side of the network (the
+	// organization the paper's Table 2 analysis assumes): node-local
+	// messages traverse the network like any other instead of using the
+	// LocalDelay bypass.
+	DanceHall bool
+	// Topology selects the interconnect: the paper's Ω network (default)
+	// or a 2-D mesh with dimension-ordered routing.
+	Topology Topology
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// simulations: unit switch delay and a one-cycle local hop.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, SwitchDelay: 1, LocalDelay: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Nodes < 2 || c.Nodes&(c.Nodes-1) != 0 {
+		return fmt.Errorf("network: Nodes must be a power of two >= 2, got %d", c.Nodes)
+	}
+	if c.SwitchDelay == 0 {
+		return fmt.Errorf("network: SwitchDelay must be positive")
+	}
+	return nil
+}
+
+// Handler receives delivered payloads at a node.
+type Handler func(payload any)
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Messages   uint64   // messages injected
+	Words      uint64   // payload words carried
+	Hops       uint64   // stage traversals
+	Local      uint64   // node-local deliveries that bypassed the network
+	LatencySum sim.Time // sum of injection-to-delivery latencies
+	QueueSum   sim.Time // portion of LatencySum due to port contention
+}
+
+// MeanLatency returns the average end-to-end latency per network message.
+func (s Stats) MeanLatency() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Messages)
+}
+
+// MeanQueueing returns the average queueing delay per network message.
+func (s Stats) MeanQueueing() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.QueueSum) / float64(s.Messages)
+}
+
+// Network is the Ω network instance. It is not safe for concurrent use; the
+// whole simulation is single-threaded by design.
+type Network struct {
+	cfg      Config
+	engine   *sim.Engine
+	stages   int
+	logN     int
+	ports    [][]sim.Resource // [stage][line] (Ω topology)
+	mesh     *mesh            // mesh topology
+	bus      *sim.Resource    // bus topology: the single shared medium
+	handlers []Handler
+	stats    Stats
+}
+
+// New builds a network over the given engine. It panics on an invalid
+// configuration (construction-time misconfiguration is a programming error).
+func New(engine *sim.Engine, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	logN := bits.TrailingZeros(uint(cfg.Nodes))
+	n := &Network{
+		cfg:      cfg,
+		engine:   engine,
+		stages:   logN,
+		logN:     logN,
+		handlers: make([]Handler, cfg.Nodes),
+	}
+	switch cfg.Topology {
+	case TopMesh:
+		n.mesh = newMesh(cfg.Nodes)
+	case TopBus:
+		n.bus = &sim.Resource{}
+	default:
+		n.ports = make([][]sim.Resource, logN)
+		for s := range n.ports {
+			n.ports[s] = make([]sim.Resource, cfg.Nodes)
+		}
+	}
+	return n
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Stages returns the number of switch stages (log2 of the node count).
+func (n *Network) Stages() int { return n.stages }
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach registers the delivery handler for a node. Each node must attach
+// exactly once before any message addressed to it is delivered.
+func (n *Network) Attach(node int, h Handler) {
+	if n.handlers[node] != nil {
+		panic(fmt.Sprintf("network: node %d attached twice", node))
+	}
+	n.handlers[node] = h
+}
+
+// holdFor returns the per-port occupancy of a message carrying `words`
+// payload words.
+func (n *Network) holdFor(words int) sim.Time {
+	flits := sim.Time(1)
+	if words > 1 {
+		flits = sim.Time(words)
+	}
+	return n.cfg.SwitchDelay * flits
+}
+
+// route returns the sequence of (stage, line) output ports on the
+// destination-tag path from src to dst. In an Ω network the line occupied
+// after stage i is formed by shifting destination bits into the source
+// address: line_i = ((src << (i+1)) | (dst >> (logN-i-1))) mod N.
+func (n *Network) route(src, dst int, lines []int) []int {
+	lines = lines[:0]
+	for i := 0; i < n.stages; i++ {
+		line := ((src << (i + 1)) | (dst >> (n.logN - i - 1))) & (n.cfg.Nodes - 1)
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// Send injects a message of the given payload size (words; 0 for a control
+// transaction) from src to dst, delivering it to dst's handler after the
+// modeled latency. Node-local messages bypass the network entirely.
+func (n *Network) Send(src, dst, words int, payload any) {
+	now := n.engine.Now()
+	if src == dst && !n.cfg.DanceHall {
+		n.stats.Local++
+		n.deliverAt(now+n.cfg.LocalDelay, dst, payload)
+		return
+	}
+	n.stats.Messages++
+	n.stats.Words += uint64(words)
+	hold := n.holdFor(words)
+
+	hops := n.stages
+	switch {
+	case n.mesh != nil:
+		hops = n.mesh.hops(src, dst)
+	case n.bus != nil:
+		hops = 1 // one bus transaction
+	}
+	var done sim.Time
+	n.stats.Hops += uint64(hops)
+	switch {
+	case n.cfg.Ideal:
+		done = now + hold*sim.Time(hops)
+	case n.mesh != nil:
+		done = n.mesh.traverse(src, dst, now, hold)
+	case n.bus != nil:
+		done = n.bus.Acquire(now, hold)
+	default:
+		done = n.sendPath(src, dst, now, hold)
+	}
+	lat := done - now
+	n.stats.LatencySum += lat
+	uncontended := hold * sim.Time(hops)
+	if lat > uncontended {
+		n.stats.QueueSum += lat - uncontended
+	}
+	n.deliverAt(done, dst, payload)
+}
+
+// sendPath walks the destination-tag route acquiring each output port in
+// order and returns the delivery completion time.
+func (n *Network) sendPath(src, dst int, now, hold sim.Time) sim.Time {
+	t := now
+	for i := 0; i < n.stages; i++ {
+		line := ((src << (i + 1)) | (dst >> (n.logN - i - 1))) & (n.cfg.Nodes - 1)
+		t = n.ports[i][line].Acquire(t, hold)
+	}
+	return t
+}
+
+func (n *Network) deliverAt(t sim.Time, dst int, payload any) {
+	h := n.handlers[dst]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler attached at node %d", dst))
+	}
+	n.engine.At(t, func() { h(payload) })
+}
+
+// UncontendedLatency returns the latency a message of the given size would
+// experience on an empty network (t_nw in the paper's cost model). For the
+// Ω network every pair is log2(N) stages apart; for the mesh the average
+// Manhattan distance (rows+cols)/2 is used as the representative figure.
+func (n *Network) UncontendedLatency(words int) sim.Time {
+	hops := n.stages
+	switch {
+	case n.mesh != nil:
+		hops = (n.mesh.rows + n.mesh.cols) / 2
+	case n.bus != nil:
+		hops = 1
+	}
+	return n.holdFor(words) * sim.Time(hops)
+}
+
+// PortUtilization returns the mean utilization across all switch output
+// ports over the given horizon.
+func (n *Network) PortUtilization(horizon sim.Time) float64 {
+	if horizon == 0 {
+		return 0
+	}
+	var busy sim.Time
+	var count int
+	if n.mesh != nil {
+		busy, count = n.mesh.busy()
+	}
+	if n.bus != nil {
+		busy += n.bus.Busy
+		count++
+	}
+	for s := range n.ports {
+		for l := range n.ports[s] {
+			busy += n.ports[s][l].Busy
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(busy) / float64(horizon) / float64(count)
+}

@@ -1,0 +1,209 @@
+// Package plot renders the harness's figure series as self-contained SVG
+// line charts — standard library only — so the reproduced figures can be
+// viewed next to the paper's. Axes are linear or logarithmic, tick values
+// are chosen from a 1-2-5 ladder, and each series gets a distinct stroke
+// and a legend entry.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ssmp/internal/metrics"
+)
+
+// Options configure a chart.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// W and H are the canvas size in pixels (defaults 640x420).
+	W, H int
+	// LogX/LogY select logarithmic axes (useful for the paper's
+	// power-of-two processor sweeps and blow-up curves).
+	LogX, LogY bool
+}
+
+// palette holds distinguishable series strokes.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+type scale struct {
+	min, max float64
+	log      bool
+	lo, hi   float64 // pixel range
+}
+
+func (s scale) pos(v float64) float64 {
+	a, b, x := s.min, s.max, v
+	if s.log {
+		a, b, x = math.Log10(a), math.Log10(b), math.Log10(v)
+	}
+	if b == a {
+		return (s.lo + s.hi) / 2
+	}
+	return s.lo + (x-a)/(b-a)*(s.hi-s.lo)
+}
+
+// ticks returns tick values on a 1-2-5 ladder (or decades for log scales).
+func (s scale) ticks() []float64 {
+	if s.log {
+		var out []float64
+		for d := math.Floor(math.Log10(s.min)); d <= math.Ceil(math.Log10(s.max)); d++ {
+			v := math.Pow(10, d)
+			if v >= s.min/1.001 && v <= s.max*1.001 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	span := s.max - s.min
+	if span <= 0 {
+		return []float64{s.min}
+	}
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	switch {
+	case raw/mag > 5:
+		step = 10 * mag
+	case raw/mag > 2:
+		step = 5 * mag
+	case raw/mag > 1:
+		step = 2 * mag
+	}
+	var out []float64
+	for v := math.Ceil(s.min/step) * step; v <= s.max*1.0001; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1_000_000:
+		return fmt.Sprintf("%gM", v/1_000_000)
+	case av >= 1_000:
+		return fmt.Sprintf("%gk", v/1_000)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// SVG renders the series as one chart. Series with no points are skipped;
+// an entirely empty chart still renders axes.
+func SVG(opt Options, series []*metrics.Series) string {
+	if opt.W == 0 {
+		opt.W = 640
+	}
+	if opt.H == 0 {
+		opt.H = 420
+	}
+	const (
+		padL, padR, padT, padB = 70, 160, 40, 50
+	)
+
+	// Collect extents.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+			yMin, yMax = math.Min(yMin, p.Y), math.Max(yMax, p.Y)
+		}
+	}
+	if math.IsInf(xMin, 1) { // no data
+		xMin, xMax, yMin, yMax = 0, 1, 0, 1
+	}
+	if opt.LogY && yMin <= 0 {
+		opt.LogY = false
+	}
+	if opt.LogX && xMin <= 0 {
+		opt.LogX = false
+	}
+	if !opt.LogY {
+		yMin = math.Min(yMin, 0)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	xs := scale{min: xMin, max: xMax, log: opt.LogX, lo: padL, hi: float64(opt.W - padR)}
+	ys := scale{min: yMin, max: yMax, log: opt.LogY, lo: float64(opt.H - padB), hi: padT}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", opt.W, opt.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opt.W, opt.H)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", padL, esc(opt.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padL, opt.H-padB, opt.W-padR, opt.H-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padL, padT, padL, opt.H-padB)
+
+	for _, v := range xs.ticks() {
+		x := xs.pos(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, opt.H-padB, x, opt.H-padB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, opt.H-padB+20, fmtTick(v))
+	}
+	for _, v := range ys.ticks() {
+		y := ys.pos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			padL-5, y, padL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dy="4">%s</text>`+"\n",
+			padL-8, y, fmtTick(v))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padL, y, opt.W-padR, y)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		(padL+opt.W-padR)/2, opt.H-12, esc(opt.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(padT+opt.H-padB)/2, (padT+opt.H-padB)/2, esc(opt.YLabel))
+
+	// Series.
+	li := 0
+	for si, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		pts := append([]metrics.Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		color := palette[si%len(palette)]
+		var poly strings.Builder
+		for i, p := range pts {
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f", xs.pos(p.X), ys.pos(p.Y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			poly.String(), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xs.pos(p.X), ys.pos(p.Y), color)
+		}
+		// Legend entry.
+		ly := padT + 18*li
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			opt.W-padR+12, ly, opt.W-padR+36, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dy="4">%s</text>`+"\n",
+			opt.W-padR+42, ly, esc(s.Name))
+		li++
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/metrics"
+)
+
+func series(name string, pts ...float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i := 0; i+1 < len(pts); i += 2 {
+		s.Add(pts[i], pts[i+1])
+	}
+	return s
+}
+
+func TestSVGBasicStructure(t *testing.T) {
+	out := SVG(Options{Title: "Figure 4", XLabel: "procs", YLabel: "cycles"},
+		[]*metrics.Series{
+			series("CBL", 2, 100, 4, 180, 8, 300),
+			series("WBI", 2, 120, 4, 400, 8, 1600),
+		})
+	for _, want := range []string{"<svg", "</svg>", "Figure 4", "CBL", "WBI", "polyline", "procs", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("markers = %d, want 6", got)
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	out := SVG(Options{Title: "a<b & c>d"}, []*metrics.Series{series("s<1>", 1, 1)})
+	if strings.Contains(out, "a<b") || strings.Contains(out, "s<1>") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGEmptySeries(t *testing.T) {
+	out := SVG(Options{Title: "empty"}, nil)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("empty chart did not render axes")
+	}
+}
+
+func TestLogScaleFallsBackOnNonPositive(t *testing.T) {
+	out := SVG(Options{LogY: true}, []*metrics.Series{series("s", 1, 0, 2, 5)})
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("chart with zero value failed under requested log scale")
+	}
+}
+
+func TestScalePosMonotonic(t *testing.T) {
+	for _, log := range []bool{false, true} {
+		s := scale{min: 1, max: 1000, log: log, lo: 0, hi: 100}
+		prev := math.Inf(-1)
+		for _, v := range []float64{1, 3, 10, 100, 999} {
+			p := s.pos(v)
+			if p <= prev {
+				t.Fatalf("log=%v: pos not monotonic at %v", log, v)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	s := scale{min: 0, max: 137}
+	ts := s.ticks()
+	if len(ts) < 3 {
+		t.Fatalf("too few ticks: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	slog := scale{min: 2, max: 64000, log: true}
+	lt := slog.ticks()
+	if len(lt) < 3 {
+		t.Fatalf("log ticks: %v", lt)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		5:         "5",
+		1500:      "1.5k",
+		2_000_000: "2M",
+		0.5:       "0.5",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: every data point maps inside the plot area.
+func TestQuickPointsInsideCanvas(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := &metrics.Series{Name: "q"}
+		for i, r := range raw {
+			s.Add(float64(i+1), float64(r))
+		}
+		opt := Options{W: 640, H: 420}
+		out := SVG(opt, []*metrics.Series{s})
+		return strings.Contains(out, "</svg>") &&
+			!strings.Contains(out, "NaN") && !strings.Contains(out, "Inf")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package ruc implements the paper's reader-initiated update coherence
+// protocol (§4.1): the cache-side and home-side controllers for READ, WRITE,
+// READ-GLOBAL, WRITE-GLOBAL, READ-UPDATE and RESET-UPDATE.
+//
+// # Protocol summary
+//
+// READ and WRITE are treated as uniprocessor cache operations: no coherence
+// traffic, per-word dirty bits set on writes, dirty words written back on
+// replacement.
+//
+// READ-GLOBAL bypasses the cache and reads the word from main memory.
+//
+// WRITE-GLOBAL performs the write at the block's home memory. The home
+// merges the word into the backing store, acknowledges the writer (the ack
+// retires the write-buffer entry), and — if the block has update
+// subscribers — propagates the updated block down the subscriber chain.
+//
+// READ-UPDATE fetches the block and subscribes the requester: the home
+// links the requester at the head of a doubly-linked subscriber list
+// threaded through the participating cache lines (prev/next fields), and the
+// central-directory queue-pointer tracks the chain. Each WRITE-GLOBAL to the
+// block afterwards sends the updated block to the head, and every subscriber
+// forwards it to its next neighbour — the paper's dual of write-update,
+// where the *reader* decides which lines receive updates.
+//
+// RESET-UPDATE unsubscribes: the home splices the node out of the chain and
+// rewrites the neighbours' pointers (SetPrevPtr/SetNextPtr messages).
+// Replacing a subscribed line unsubscribes implicitly (the write-back
+// carries an unsubscribe flag).
+//
+// # Inferred details
+//
+// The paper elides chain-maintenance corner cases. This implementation makes
+// the following choices, all safe under the buffered-consistency model
+// (updates are asynchronous; readers that need fresh data synchronize):
+//
+//   - The home keeps a mirror of the subscriber order. The mirror is the
+//     serialization point for splices; propagation itself follows the
+//     cache-line next pointers, as in the paper.
+//   - A propagation that reaches a node whose line was replaced mid-flight
+//     is dropped; the chain was already spliced at the home, so the next
+//     write's propagation reaches all live subscribers.
+//   - New subscribers are linked at the head (cheapest hardware insertion),
+//     so an in-flight propagation may miss a brand-new subscriber; its
+//     subscription reply already carried data at least as new.
+package ruc

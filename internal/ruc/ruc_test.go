@@ -1,0 +1,612 @@
+package ruc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/cache"
+	"ssmp/internal/fabric"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+	"ssmp/internal/wbuf"
+)
+
+// rig is a minimal multiprocessor wiring nodes and homes over a real
+// network, sufficient to drive the protocol without the full machine layer.
+type rig struct {
+	eng   *sim.Engine
+	net   *network.Network
+	f     *fabric.Fabric
+	geom  mem.Geometry
+	nodes []*Node
+	homes []*Home
+	bufs  []*wbuf.Buffer
+}
+
+func newRig(t testing.TB, n int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := network.New(eng, network.DefaultConfig(n))
+	f := fabric.New(eng, nw, fabric.DefaultTiming())
+	geom := mem.Geometry{BlockWords: 4, Nodes: n}
+	r := &rig{eng: eng, net: nw, f: f, geom: geom}
+	for i := 0; i < n; i++ {
+		node := NewNode(f, i, geom, cache.New(geom, 16, 2))
+		home := NewHome(f, i, geom, mem.NewStore(geom))
+		buf := wbuf.New(eng, wbuf.Options{}, node.IssueWriteGlobal)
+		node.SetGlobalAckHandler(buf.Ack)
+		r.nodes = append(r.nodes, node)
+		r.homes = append(r.homes, home)
+		r.bufs = append(r.bufs, buf)
+		i := i
+		nw.Attach(i, func(p any) {
+			m := p.(*msg.Msg)
+			if r.nodes[i].Handles(m.Kind) {
+				r.nodes[i].Handle(m)
+			} else {
+				r.homes[i].Handle(m)
+			}
+		})
+	}
+	return r
+}
+
+// seed writes a word directly into the owning home's store.
+func (r *rig) seed(a mem.Addr, w mem.Word) {
+	r.homes[r.geom.Home(r.geom.BlockOf(a))].store.WriteWord(a, w)
+}
+
+// memWord reads a word directly from the owning home's store.
+func (r *rig) memWord(a mem.Addr) mem.Word {
+	return r.homes[r.geom.Home(r.geom.BlockOf(a))].store.ReadWord(a)
+}
+
+func (r *rig) run(t testing.TB) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) read(t testing.TB, node int, a mem.Addr) mem.Word {
+	t.Helper()
+	var out mem.Word
+	got := false
+	r.nodes[node].Read(a, func(w mem.Word) { out = w; got = true })
+	r.run(t)
+	if !got {
+		t.Fatalf("node %d read of %d never completed", node, a)
+	}
+	return out
+}
+
+func (r *rig) write(t testing.TB, node int, a mem.Addr, w mem.Word) {
+	t.Helper()
+	done := false
+	r.nodes[node].Write(a, w, func() { done = true })
+	r.run(t)
+	if !done {
+		t.Fatalf("node %d write of %d never completed", node, a)
+	}
+}
+
+func (r *rig) readUpdate(t testing.TB, node int, a mem.Addr) mem.Word {
+	t.Helper()
+	var out mem.Word
+	got := false
+	r.nodes[node].ReadUpdate(a, func(w mem.Word) { out = w; got = true })
+	r.run(t)
+	if !got {
+		t.Fatalf("node %d read-update of %d never completed", node, a)
+	}
+	return out
+}
+
+func (r *rig) writeGlobal(t testing.TB, node int, a mem.Addr, w mem.Word) {
+	t.Helper()
+	if !r.bufs[node].Add(r.geom.BlockOf(a), r.geom.WordIndex(a), w) {
+		t.Fatalf("write buffer rejected write")
+	}
+	r.run(t)
+}
+
+func TestReadFetchesFromHome(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(17, 99)
+	if got := r.read(t, 2, 17); got != 99 {
+		t.Fatalf("read = %d, want 99", got)
+	}
+	// Second read is a hit: no further network messages.
+	before := r.f.Coll.Total()
+	if got := r.read(t, 2, 17); got != 99 {
+		t.Fatalf("second read = %d, want 99", got)
+	}
+	if r.f.Coll.Total() != before {
+		t.Fatal("cache hit generated network traffic")
+	}
+}
+
+func TestWriteIsLocalAndDirty(t *testing.T) {
+	r := newRig(t, 4)
+	r.write(t, 1, 9, 55)
+	if got := r.read(t, 1, 9); got != 55 {
+		t.Fatalf("read after write = %d, want 55", got)
+	}
+	// The write is local: memory still has the old (zero) value.
+	if r.memWord(9) != 0 {
+		t.Fatal("private write reached memory without replacement")
+	}
+	l := r.nodes[1].cache.Peek(r.geom.BlockOf(9))
+	if l == nil || !l.Dirty.Has(r.geom.WordIndex(9)) {
+		t.Fatal("dirty bit not set on written word")
+	}
+}
+
+func TestEvictionWritesBackOnlyDirtyWords(t *testing.T) {
+	r := newRig(t, 4)
+	// Node 0 uses a small dedicated cache so eviction is easy to force.
+	small := NewNode(r.f, 0, r.geom, cache.New(r.geom, 1, 1))
+	small.SetGlobalAckHandler(func(uint64) {})
+	r.nodes[0] = small
+
+	// Seed block 4 (home node 0: 4 % 4 == 0) with known values.
+	base := r.geom.BaseAddr(4)
+	for i := 0; i < 4; i++ {
+		r.seed(base+mem.Addr(i), mem.Word(100+i))
+	}
+	// Write word 2 of block 4 privately, then touch another block to evict.
+	r.write(t, 0, base+2, 777)
+	r.read(t, 0, r.geom.BaseAddr(9)) // maps to the same single set: evicts
+
+	blk := r.homes[r.geom.Home(4)].store.ReadBlock(4)
+	want := []mem.Word{100, 101, 777, 103}
+	for i := range want {
+		if blk[i] != want[i] {
+			t.Fatalf("after write-back block = %v, want %v", blk, want)
+		}
+	}
+}
+
+func TestFalseSharingSurvivesConcurrentWriteBacks(t *testing.T) {
+	// Two nodes privately write different words of the same block, then
+	// both evict. Word-granularity write-back preserves both updates —
+	// the paper's false-sharing fix (§3 issue 6).
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[2] = NewNode(r.f, 2, r.geom, cache.New(r.geom, 1, 1))
+	base := r.geom.BaseAddr(8)
+	r.write(t, 1, base+0, 11)
+	r.write(t, 2, base+3, 22)
+	// Evict both copies.
+	r.read(t, 1, r.geom.BaseAddr(16))
+	r.read(t, 2, r.geom.BaseAddr(16))
+	blk := r.homes[r.geom.Home(8)].store.ReadBlock(8)
+	if blk[0] != 11 || blk[3] != 22 {
+		t.Fatalf("block = %v, want word0=11 word3=22 (lost update)", blk)
+	}
+}
+
+func TestReadGlobalBypassesCache(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(21, 5)
+	r.read(t, 3, 21) // caches the block
+	r.seed(21, 6)    // memory changes behind the cache
+	if got := r.read(t, 3, 21); got != 5 {
+		t.Fatalf("cached read = %d, want stale 5", got)
+	}
+	var got mem.Word
+	r.nodes[3].ReadGlobal(21, func(w mem.Word) { got = w })
+	r.run(t)
+	if got != 6 {
+		t.Fatalf("read-global = %d, want fresh 6", got)
+	}
+}
+
+func TestWriteGlobalUpdatesMemoryAndAcks(t *testing.T) {
+	r := newRig(t, 4)
+	r.writeGlobal(t, 2, 13, 44)
+	if r.memWord(13) != 44 {
+		t.Fatalf("memory word = %d, want 44", r.memWord(13))
+	}
+	if !r.bufs[2].Empty() {
+		t.Fatal("write buffer entry not retired by ack")
+	}
+}
+
+func TestWriterSeesOwnGlobalWrite(t *testing.T) {
+	r := newRig(t, 4)
+	r.read(t, 2, 13) // cache the block first
+	r.writeGlobal(t, 2, 13, 44)
+	if got := r.read(t, 2, 13); got != 44 {
+		t.Fatalf("writer's cached copy = %d, want 44", got)
+	}
+}
+
+func TestFlushBufferWaitsForAcks(t *testing.T) {
+	r := newRig(t, 4)
+	b := r.geom.BlockOf(13)
+	r.bufs[2].Add(b, 1, 7)
+	r.bufs[2].Add(b, 2, 8)
+	flushed := false
+	r.bufs[2].OnEmpty(func() { flushed = true })
+	if flushed {
+		t.Fatal("flush completed before acks")
+	}
+	r.run(t)
+	if !flushed {
+		t.Fatal("flush never completed")
+	}
+}
+
+func TestReadUpdateSubscribesAndReceivesUpdates(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(17, 1)
+	if got := r.readUpdate(t, 1, 17); got != 1 {
+		t.Fatalf("read-update = %d, want 1", got)
+	}
+	if subs := r.homes[r.geom.Home(r.geom.BlockOf(17))].Subscribers(r.geom.BlockOf(17)); len(subs) != 1 || subs[0] != 1 {
+		t.Fatalf("subscribers = %v, want [1]", subs)
+	}
+	// Node 3 writes globally; node 1's cached line must be updated.
+	r.writeGlobal(t, 3, 17, 2)
+	if got := r.read(t, 1, 17); got != 2 {
+		t.Fatalf("subscriber read = %d, want propagated 2", got)
+	}
+	if r.nodes[1].UpdatesApplied == 0 {
+		t.Fatal("no propagation recorded")
+	}
+}
+
+func TestReadUpdateHitWhenAlreadySubscribed(t *testing.T) {
+	r := newRig(t, 4)
+	r.readUpdate(t, 1, 17)
+	before := r.f.Coll.Total()
+	r.readUpdate(t, 1, 17)
+	if r.f.Coll.Total() != before {
+		t.Fatal("re-read-update of subscribed line generated traffic")
+	}
+}
+
+func TestUpdateChainPropagatesToAllSubscribers(t *testing.T) {
+	r := newRig(t, 8)
+	a := mem.Addr(20)
+	b := r.geom.BlockOf(a)
+	for _, n := range []int{1, 2, 3, 5} {
+		r.readUpdate(t, n, a)
+	}
+	subs := r.homes[r.geom.Home(b)].Subscribers(b)
+	if len(subs) != 4 {
+		t.Fatalf("subscribers = %v", subs)
+	}
+	// Chain pointers in caches must mirror the home's order.
+	for i, n := range subs {
+		l := r.nodes[n].cache.Peek(b)
+		if l == nil || !l.Update {
+			t.Fatalf("node %d missing subscribed line", n)
+		}
+		wantPrev, wantNext := cache.NoNode, cache.NoNode
+		if i > 0 {
+			wantPrev = subs[i-1]
+		}
+		if i < len(subs)-1 {
+			wantNext = subs[i+1]
+		}
+		if l.Prev != wantPrev || l.Next != wantNext {
+			t.Fatalf("node %d pointers prev=%d next=%d, want %d/%d", n, l.Prev, l.Next, wantPrev, wantNext)
+		}
+	}
+	r.writeGlobal(t, 0, a, 42)
+	for _, n := range []int{1, 2, 3, 5} {
+		if got := r.read(t, n, a); got != 42 {
+			t.Fatalf("subscriber %d read = %d, want 42", n, got)
+		}
+	}
+}
+
+func TestResetUpdateStopsUpdates(t *testing.T) {
+	r := newRig(t, 4)
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	r.readUpdate(t, 1, a)
+	r.readUpdate(t, 2, a)
+	done := false
+	r.nodes[1].ResetUpdate(a, func() { done = true })
+	r.run(t)
+	if !done {
+		t.Fatal("reset-update never completed")
+	}
+	if subs := r.homes[r.geom.Home(b)].Subscribers(b); len(subs) != 1 || subs[0] != 2 {
+		t.Fatalf("subscribers after reset = %v, want [2]", subs)
+	}
+	r.writeGlobal(t, 3, a, 9)
+	if got := r.read(t, 1, a); got == 9 {
+		t.Fatal("unsubscribed node still received update")
+	}
+	if got := r.read(t, 2, a); got != 9 {
+		t.Fatalf("remaining subscriber read = %d, want 9", got)
+	}
+}
+
+func TestResetUpdateMiddleSplicesChain(t *testing.T) {
+	r := newRig(t, 8)
+	a := mem.Addr(20)
+	b := r.geom.BlockOf(a)
+	for _, n := range []int{1, 2, 3} {
+		r.readUpdate(t, n, a)
+	}
+	// Chain (head first) is [3, 2, 1]; remove the middle node 2.
+	r.nodes[2].ResetUpdate(a, func() {})
+	r.run(t)
+	subs := r.homes[r.geom.Home(b)].Subscribers(b)
+	if len(subs) != 2 || subs[0] != 3 || subs[1] != 1 {
+		t.Fatalf("subscribers = %v, want [3 1]", subs)
+	}
+	l3 := r.nodes[3].cache.Peek(b)
+	l1 := r.nodes[1].cache.Peek(b)
+	if l3.Next != 1 || l1.Prev != 3 {
+		t.Fatalf("splice pointers wrong: 3.next=%d 1.prev=%d", l3.Next, l1.Prev)
+	}
+	r.writeGlobal(t, 0, a, 77)
+	if got := r.read(t, 3, a); got != 77 {
+		t.Fatalf("head read = %d", got)
+	}
+	if got := r.read(t, 1, a); got != 77 {
+		t.Fatalf("tail read = %d", got)
+	}
+}
+
+func TestResetUpdateOfUnsubscribedIsNoop(t *testing.T) {
+	r := newRig(t, 4)
+	before := r.f.Coll.Total()
+	done := false
+	r.nodes[1].ResetUpdate(33, func() { done = true })
+	r.run(t)
+	if !done {
+		t.Fatal("no-op reset never completed")
+	}
+	if r.f.Coll.Total() != before {
+		t.Fatal("no-op reset generated traffic")
+	}
+}
+
+func TestEvictionUnsubscribes(t *testing.T) {
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[1].SetGlobalAckHandler(func(uint64) {})
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	r.readUpdate(t, 1, a)
+	if len(r.homes[r.geom.Home(b)].Subscribers(b)) != 1 {
+		t.Fatal("subscription missing")
+	}
+	// Touch another block mapping to the same set: evicts the subscribed
+	// line and must unsubscribe.
+	r.read(t, 1, r.geom.BaseAddr(9))
+	if subs := r.homes[r.geom.Home(b)].Subscribers(b); len(subs) != 0 {
+		t.Fatalf("subscribers after eviction = %v, want empty", subs)
+	}
+}
+
+func TestEvictionOfDirtySubscribedLineWritesBackAndUnsubscribes(t *testing.T) {
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[1].SetGlobalAckHandler(func(uint64) {})
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	r.readUpdate(t, 1, a)
+	r.write(t, 1, a, 123) // dirty the subscribed line locally
+	r.read(t, 1, r.geom.BaseAddr(9))
+	if r.memWord(a) != 123 {
+		t.Fatalf("dirty word not written back: mem=%d", r.memWord(a))
+	}
+	if subs := r.homes[r.geom.Home(b)].Subscribers(b); len(subs) != 0 {
+		t.Fatalf("subscribers after dirty eviction = %v", subs)
+	}
+}
+
+func TestPropagationMessageCount(t *testing.T) {
+	// A write-global to a block with k subscribers costs: 1 C_W request,
+	// 1 control ack, and k block propagations (Table 2's write row:
+	// C_W + (n-1)||C_B).
+	r := newRig(t, 8)
+	a := mem.Addr(20)
+	for _, n := range []int{1, 2, 3, 5, 6} {
+		r.readUpdate(t, n, a)
+	}
+	r.f.Coll.Reset()
+	r.writeGlobal(t, 0, a, 1)
+	if got := r.f.Coll.Kind(msg.WriteGlobalReq); got != 1 {
+		t.Fatalf("WriteGlobalReq = %d", got)
+	}
+	if got := r.f.Coll.Kind(msg.WriteGlobalAck); got != 1 {
+		t.Fatalf("WriteGlobalAck = %d", got)
+	}
+	if got := r.f.Coll.Kind(msg.UpdateProp); got != 5 {
+		t.Fatalf("UpdateProp = %d, want 5", got)
+	}
+}
+
+func TestUpdatePreservesLocallyDirtyWords(t *testing.T) {
+	r := newRig(t, 4)
+	a := r.geom.BaseAddr(r.geom.BlockOf(17)) // word 0 of the block
+	r.readUpdate(t, 1, a)
+	r.write(t, 1, a+1, 5) // dirty word 1 locally
+	r.writeGlobal(t, 2, a, 9)
+	if got := r.read(t, 1, a); got != 9 {
+		t.Fatalf("clean word = %d, want updated 9", got)
+	}
+	if got := r.read(t, 1, a+1); got != 5 {
+		t.Fatalf("dirty word = %d, want preserved 5", got)
+	}
+}
+
+// Property: after any sequence of subscribe/unsubscribe operations drains,
+// the home mirror and the cache-line pointers describe the same chain, and
+// every subscribed line has its update bit set.
+func TestQuickChainConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := newRig(t, 8)
+		a := mem.Addr(20)
+		b := r.geom.BlockOf(a)
+		for _, op := range ops {
+			node := int(op % 8)
+			if (op>>3)%2 == 0 {
+				r.nodes[node].ReadUpdate(a, func(mem.Word) {})
+			} else {
+				r.nodes[node].ResetUpdate(a, func() {})
+			}
+			if err := r.eng.Run(); err != nil {
+				return false
+			}
+		}
+		subs := r.homes[r.geom.Home(b)].Subscribers(b)
+		seen := map[int]bool{}
+		for i, n := range subs {
+			if seen[n] {
+				return false // duplicate in chain
+			}
+			seen[n] = true
+			l := r.nodes[n].cache.Peek(b)
+			if l == nil || !l.Update {
+				return false
+			}
+			wantPrev, wantNext := cache.NoNode, cache.NoNode
+			if i > 0 {
+				wantPrev = subs[i-1]
+			}
+			if i < len(subs)-1 {
+				wantNext = subs[i+1]
+			}
+			if l.Prev != wantPrev || l.Next != wantNext {
+				return false
+			}
+		}
+		// Nodes not in the chain must not have the update bit.
+		for n := 0; n < 8; n++ {
+			if seen[n] {
+				continue
+			}
+			if l := r.nodes[n].cache.Peek(b); l != nil && l.Update {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent global writes from several nodes to distinct words
+// all land in memory, and every subscriber converges to memory's block.
+func TestQuickConcurrentGlobalWritesConverge(t *testing.T) {
+	f := func(vals [4]uint8) bool {
+		r := newRig(t, 8)
+		a := r.geom.BaseAddr(8) // block 8, home 0
+		for _, n := range []int{1, 2, 3} {
+			r.nodes[n].ReadUpdate(a, func(mem.Word) {})
+		}
+		if err := r.eng.Run(); err != nil {
+			return false
+		}
+		// Four writers update the four words concurrently.
+		for i := 0; i < 4; i++ {
+			writer := 4 + i%4
+			r.bufs[writer].Add(8, i, mem.Word(vals[i])+1)
+		}
+		if err := r.eng.Run(); err != nil {
+			return false
+		}
+		memBlk := r.homes[0].store.ReadBlock(8)
+		for i := 0; i < 4; i++ {
+			if memBlk[i] != mem.Word(vals[i])+1 {
+				return false
+			}
+		}
+		for _, n := range []int{1, 2, 3} {
+			l := r.nodes[n].cache.Peek(8)
+			if l == nil {
+				return false
+			}
+			for i := 0; i < 4; i++ {
+				if l.Data[i] != memBlk[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCollisionPanics(t *testing.T) {
+	r := newRig(t, 4)
+	r.nodes[1].Read(100, func(mem.Word) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second outstanding demand request did not panic")
+		}
+	}()
+	r.nodes[1].Read(200, func(mem.Word) {})
+}
+
+func TestIdempotentResubscription(t *testing.T) {
+	// A node whose line lost its update bit without the home hearing
+	// (e.g. replaced and refetched) re-subscribes; the home must not
+	// duplicate it in the chain, and the reply re-links the node to its
+	// recorded successor.
+	r := newRig(t, 8)
+	a := mem.Addr(20)
+	b := r.geom.BlockOf(a)
+	r.readUpdate(t, 1, a)
+	r.readUpdate(t, 2, a) // chain [2, 1]
+	// Simulate the lost update bit on node 2's line.
+	l := r.nodes[2].cache.Peek(b)
+	l.Update = false
+	l.ResetPointers()
+	r.readUpdate(t, 2, a)
+	subs := r.homes[r.geom.Home(b)].Subscribers(b)
+	if len(subs) != 2 || subs[0] != 2 || subs[1] != 1 {
+		t.Fatalf("subscribers = %v, want [2 1] without duplication", subs)
+	}
+	l = r.nodes[2].cache.Peek(b)
+	if !l.Update || l.Next != 1 {
+		t.Fatalf("re-linked line update=%v next=%d, want true/1", l.Update, l.Next)
+	}
+	// Updates still reach both.
+	r.writeGlobal(t, 0, a, 6)
+	if got := r.read(t, 2, a); got != 6 {
+		t.Fatalf("head read = %d", got)
+	}
+	if got := r.read(t, 1, a); got != 6 {
+		t.Fatalf("tail read = %d", got)
+	}
+}
+
+func TestWholeLineWriteBackLosesUpdates(t *testing.T) {
+	// The negative-space demonstration of §3 issue 6: with the per-word
+	// dirty bits disabled, the same interleaving that
+	// TestFalseSharingSurvivesConcurrentWriteBacks proves safe silently
+	// destroys one node's update.
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[2] = NewNode(r.f, 2, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[1].WholeLineWriteBack = true
+	r.nodes[2].WholeLineWriteBack = true
+	base := r.geom.BaseAddr(8)
+	r.write(t, 1, base+0, 11)
+	r.write(t, 2, base+3, 22)
+	r.read(t, 1, r.geom.BaseAddr(16)) // evict node 1's copy
+	r.read(t, 2, r.geom.BaseAddr(16)) // evict node 2's copy (full-line overwrite)
+	blk := r.homes[r.geom.Home(8)].store.ReadBlock(8)
+	if blk[0] == 11 && blk[3] == 22 {
+		t.Fatal("both updates survived; the ablation should have lost one")
+	}
+	if blk[3] != 22 {
+		t.Fatalf("block = %v; the later write-back should at least have landed", blk)
+	}
+}

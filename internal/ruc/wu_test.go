@@ -1,0 +1,100 @@
+package ruc
+
+import (
+	"testing"
+
+	"ssmp/internal/cache"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+)
+
+// wuRig builds a rig with every home in sender-initiated write-update mode.
+func wuRig(t testing.TB, n int) *rig {
+	r := newRig(t, n)
+	for _, h := range r.homes {
+		h.WriteUpdateMode = true
+	}
+	return r
+}
+
+func TestWriteUpdateReadMissSubscribes(t *testing.T) {
+	r := wuRig(t, 4)
+	r.seed(17, 3)
+	if got := r.read(t, 1, 17); got != 3 {
+		t.Fatalf("read = %d, want 3", got)
+	}
+	b := r.geom.BlockOf(17)
+	subs := r.homes[r.geom.Home(b)].Subscribers(b)
+	if len(subs) != 1 || subs[0] != 1 {
+		t.Fatalf("subscribers = %v, want implicit [1]", subs)
+	}
+	// A write-global now updates the reader unsolicited.
+	r.writeGlobal(t, 2, 17, 9)
+	if got := r.read(t, 1, 17); got != 9 {
+		t.Fatalf("reader copy = %d, want 9 (write-update push)", got)
+	}
+}
+
+func TestWriteUpdateSubscriptionsAccumulate(t *testing.T) {
+	// The §4.1 contrast: write-update readers "continue to receive
+	// updates even if the line is not actively used", so a writer pays
+	// for every past reader; reader-initiated subscriptions only exist
+	// where software asked for them.
+	countProps := func(wu bool) uint64 {
+		var r *rig
+		if wu {
+			r = wuRig(t, 8)
+		} else {
+			r = newRig(t, 8)
+		}
+		a := mem.Addr(16)
+		// Seven nodes each read the block once, long ago.
+		for n := 1; n < 8; n++ {
+			r.read(t, n, a)
+		}
+		// In the reader-initiated world only node 1 still cares.
+		if !wu {
+			r.readUpdate(t, 1, a)
+		}
+		r.f.Coll.Reset()
+		for k := 0; k < 10; k++ {
+			r.writeGlobal(t, 0, a, mem.Word(k))
+		}
+		return r.f.Coll.Kind(msg.UpdateProp)
+	}
+	wu := countProps(true)
+	ru := countProps(false)
+	if ru >= wu {
+		t.Fatalf("reader-initiated props (%d) not below write-update props (%d)", ru, wu)
+	}
+	if wu < 7*10 {
+		t.Fatalf("write-update props = %d, want >= 70 (7 stale readers x 10 writes)", wu)
+	}
+	if ru != 10 {
+		t.Fatalf("reader-initiated props = %d, want 10 (1 subscriber x 10 writes)", ru)
+	}
+}
+
+func TestWriteUpdateEvictionUnsubscribes(t *testing.T) {
+	r := wuRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.nodes[1].SetGlobalAckHandler(func(uint64) {})
+	a := mem.Addr(17)
+	b := r.geom.BlockOf(a)
+	r.read(t, 1, a) // implicit subscription
+	if len(r.homes[r.geom.Home(b)].Subscribers(b)) != 1 {
+		t.Fatal("implicit subscription missing")
+	}
+	r.read(t, 1, r.geom.BaseAddr(9)) // evicts (and resubscribes to block 9!)
+	if subs := r.homes[r.geom.Home(b)].Subscribers(b); len(subs) != 0 {
+		t.Fatalf("subscribers after eviction = %v, want none", subs)
+	}
+}
+
+func TestWriteUpdateWriteAllocateWorks(t *testing.T) {
+	r := wuRig(t, 4)
+	r.write(t, 2, 17, 5) // write miss allocates via the linking reply
+	if got := r.read(t, 2, 17); got != 5 {
+		t.Fatalf("read after write = %d, want 5", got)
+	}
+}

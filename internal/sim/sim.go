@@ -1,0 +1,195 @@
+// Package sim provides the discrete-event simulation kernel underlying the
+// multiprocessor model.
+//
+// The kernel is deliberately minimal and deterministic: a single logical
+// clock measured in machine cycles, a binary-heap event queue ordered by
+// (time, insertion sequence), and no goroutines. All simulated components
+// (processors, caches, directories, network switches) are passive state
+// machines that interact exclusively by scheduling events. Two runs with the
+// same seed and configuration produce bit-identical results, which the test
+// suite verifies.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is the simulation clock, measured in processor cycles.
+type Time uint64
+
+// Infinity is a sentinel Time greater than any reachable simulation instant.
+const Infinity Time = math.MaxUint64
+
+// Event is a scheduled callback. Events carry no payload of their own;
+// closures capture whatever state they need.
+type Event func()
+
+// item is a heap entry. seq breaks ties so that events scheduled for the same
+// cycle fire in insertion order, keeping the simulation deterministic.
+type item struct {
+	at   Time
+	seq  uint64
+	fn   Event
+	dead bool // cancelled
+	idx  int  // heap index, maintained by eventHeap
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel removes the event from the schedule. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.it == nil || h.it.dead || h.it.idx < 0 {
+		return false
+	}
+	h.it.dead = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.it != nil && !h.it.dead && h.it.idx >= 0
+}
+
+// Engine is the event loop. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+	limit   Time // horizon; Infinity when unset
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{limit: Infinity}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// entries not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetHorizon establishes a hard time limit; Run returns ErrHorizon when the
+// clock would pass it. A horizon of Infinity (the default) disables the
+// limit.
+func (e *Engine) SetHorizon(t Time) { e.limit = t }
+
+// ErrHorizon is returned by Run when the simulation horizon is exceeded,
+// which almost always indicates livelock (for example a lock that is never
+// released).
+var ErrHorizon = errors.New("sim: horizon exceeded")
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	it := &item{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return Handle{it}
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn Event) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Intended for use
+// from inside event callbacks (for example when a workload detects
+// completion).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the horizon
+// is exceeded. It returns nil on a drained queue or explicit Stop.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		it := heap.Pop(&e.queue).(*item)
+		if it.dead {
+			continue
+		}
+		if it.at > e.limit {
+			e.now = it.at
+			return ErrHorizon
+		}
+		e.now = it.at
+		e.fired++
+		it.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, leaving later events queued
+// and advancing the clock to exactly t if the queue empties earlier. It
+// returns the number of events fired.
+func (e *Engine) RunUntil(t Time) uint64 {
+	start := e.fired
+	for len(e.queue) > 0 {
+		top := e.queue[0]
+		if top.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if top.at > t {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = top.at
+		e.fired++
+		top.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.fired - start
+}

@@ -1,0 +1,24 @@
+// Package wbi implements the write-back invalidation (WBI) cache protocol
+// the paper evaluates against (§5): an MSI protocol with a central full-map
+// directory, in the style of Archibald & Baer's multiprocessor model and the
+// DASH-like forwarding optimizations.
+//
+//   - A read miss (GetS) is serviced from memory, or forwarded to the dirty
+//     owner, which supplies the requester and updates memory.
+//   - A write miss or upgrade (GetX) invalidates every other copy; the
+//     requester collects invalidation acknowledgments directly from the
+//     sharers and proceeds once the data and all acks have arrived. Writes
+//     are strongly consistent: the processor stalls until the transaction
+//     completes (the paper's WBI runs do not employ buffered consistency).
+//   - An atomic read-modify-write (RMW) acquires exclusive ownership and
+//     mutates the line in the cache — the primitive from which software
+//     spin locks are built, and the source of the invalidation storms the
+//     paper's Figures 4 and 5 exhibit under lock contention.
+//
+// Races the implementation handles explicitly: late write-backs (a PutX
+// from a node that has already lost ownership is acknowledged but its stale
+// data discarded), forwarded requests arriving at a node whose line is in
+// the write-back buffer (served from the buffer), forwarded requests
+// arriving at a node whose own acquisition is still in flight (buffered and
+// served after completion), and invalidations crossing an in-flight upgrade.
+package wbi

@@ -1,0 +1,93 @@
+package wbi
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+)
+
+// limitedRig caps every home's directory pointers.
+func limitedRig(t testing.TB, n, maxPtrs int) *rig {
+	r := newRig(t, n)
+	for _, h := range r.homes {
+		h.MaxPointers = maxPtrs
+	}
+	return r
+}
+
+func TestLimitedDirectoryOverflowsToBroadcast(t *testing.T) {
+	r := limitedRig(t, 8, 2)
+	r.seed(17, 1)
+	b := r.geom.BlockOf(17)
+	home := r.homes[r.geom.Home(b)]
+	// Two readers fit in the pointer set.
+	r.read(t, 1, 17)
+	r.read(t, 2, 17)
+	if home.BroadcastMode(b) {
+		t.Fatal("broadcast bit set below the pointer limit")
+	}
+	// A third overflows.
+	r.read(t, 3, 17)
+	if !home.BroadcastMode(b) {
+		t.Fatal("broadcast bit not set on overflow")
+	}
+	// A write must now invalidate every other node (7 Invs), not 3.
+	r.f.Coll.Reset()
+	r.write(t, 0, 17, 2)
+	if got := r.f.Coll.Kind(msg.Inv); got != 7 {
+		t.Fatalf("Inv count = %d, want 7 (broadcast)", got)
+	}
+	if home.Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d, want 1", home.Broadcasts)
+	}
+	// Correctness preserved: all stale copies gone, fresh reads see 2.
+	for _, n := range []int{1, 2, 3} {
+		if got := r.read(t, n, 17); got != 2 {
+			t.Fatalf("node %d read = %d, want 2", n, got)
+		}
+	}
+	// The directory recovered: the writer is the exclusive owner.
+	if home.Owner(b) != -1 && home.BroadcastMode(b) {
+		t.Fatal("broadcast bit not cleared by the exclusive transfer")
+	}
+}
+
+func TestLimitedDirectoryCorrectUnderRMWContention(t *testing.T) {
+	// The atomic-counter torture test with an overflowing directory.
+	r := limitedRig(t, 8, 1)
+	const k = 15
+	for n := 0; n < 8; n++ {
+		n := n
+		remaining := k
+		var again func()
+		again = func() {
+			remaining--
+			if remaining > 0 {
+				r.nodes[n].RMW(17, func(w mem.Word) mem.Word { return w + 1 }, func(mem.Word) { again() })
+			}
+		}
+		r.nodes[n].RMW(17, func(w mem.Word) mem.Word { return w + 1 }, func(mem.Word) { again() })
+	}
+	r.run(t)
+	if got := r.read(t, 0, 17); got != 8*k {
+		t.Fatalf("counter = %d, want %d", got, 8*k)
+	}
+}
+
+func TestFullMapUnaffectedByDefault(t *testing.T) {
+	r := newRig(t, 8) // MaxPointers = 0: full map
+	r.seed(17, 1)
+	for n := 1; n < 8; n++ {
+		r.read(t, n, 17)
+	}
+	b := r.geom.BlockOf(17)
+	if r.homes[r.geom.Home(b)].BroadcastMode(b) {
+		t.Fatal("full map overflowed")
+	}
+	r.f.Coll.Reset()
+	r.write(t, 0, 17, 2)
+	if got := r.f.Coll.Kind(msg.Inv); got != 7 {
+		t.Fatalf("Inv count = %d, want 7 exact sharers", got)
+	}
+}

@@ -1,0 +1,71 @@
+package wbi
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+)
+
+// TestReadInvalidateRaceDoesNotStrandStaleCopy is the regression test for
+// the poisoned-read race: the home records a reader as a sharer before its
+// delayed data reply leaves, so an invalidation triggered by a concurrent
+// writer can overtake the reply. The reader may legally return the old
+// value once, but it must not retain the superseded line (a stranded stale
+// copy makes spin loops live-lock).
+func TestReadInvalidateRaceDoesNotStrandStaleCopy(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(17, 1)
+	// A second sharer guarantees the writer's upgrade sends
+	// invalidations.
+	r.read(t, 2, 17)
+
+	var got mem.Word
+	readDone, writeDone := false, false
+	r.nodes[1].Read(17, func(w mem.Word) { got = w; readDone = true })
+	r.nodes[3].Write(17, 2, func() { writeDone = true })
+	r.run(t)
+	if !readDone || !writeDone {
+		t.Fatal("operations incomplete")
+	}
+	if got != 1 && got != 2 {
+		t.Fatalf("racing read = %d, want 1 or 2 (either serialization)", got)
+	}
+	// The crucial property: node 1 must now observe the new value — its
+	// racing copy must not have been retained.
+	if v := r.read(t, 1, 17); v != 2 {
+		t.Fatalf("post-race read = %d, want 2 (stale copy stranded)", v)
+	}
+}
+
+// TestSpinnerObservesReleaseEventually drives the exact pattern that
+// exposed the race: spinners on a cached word must all observe a write.
+func TestSpinnerObservesReleaseEventually(t *testing.T) {
+	r := newRig(t, 8)
+	r.seed(17, 1)
+	observed := make([]bool, 8)
+	for n := 1; n < 8; n++ {
+		n := n
+		var spin func(mem.Word)
+		spin = func(w mem.Word) {
+			if w == 0 {
+				observed[n] = true
+				return
+			}
+			r.nodes[n].Read(17, spin)
+		}
+		r.nodes[n].Read(17, spin)
+	}
+	// Writer clears the word while the spinners hammer it.
+	r.eng.After(20, func() {
+		r.nodes[0].Write(17, 0, func() {})
+	})
+	r.eng.SetHorizon(1_000_000)
+	if err := r.eng.Run(); err != nil {
+		t.Fatalf("spinners live-locked: %v", err)
+	}
+	for n := 1; n < 8; n++ {
+		if !observed[n] {
+			t.Fatalf("spinner %d never observed the release", n)
+		}
+	}
+}

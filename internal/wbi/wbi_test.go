@@ -1,0 +1,384 @@
+package wbi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/cache"
+	"ssmp/internal/fabric"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	f     *fabric.Fabric
+	geom  mem.Geometry
+	nodes []*Node
+	homes []*Home
+}
+
+func newRig(t testing.TB, n int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := network.New(eng, network.DefaultConfig(n))
+	f := fabric.New(eng, nw, fabric.DefaultTiming())
+	geom := mem.Geometry{BlockWords: 4, Nodes: n}
+	r := &rig{eng: eng, f: f, geom: geom}
+	for i := 0; i < n; i++ {
+		r.nodes = append(r.nodes, NewNode(f, i, geom, cache.New(geom, 16, 2)))
+		r.homes = append(r.homes, NewHome(f, i, geom, mem.NewStore(geom)))
+		i := i
+		nw.Attach(i, func(p any) {
+			m := p.(*msg.Msg)
+			if r.homes[i].Handles(m.Kind) {
+				r.homes[i].Handle(m)
+			} else {
+				r.nodes[i].Handle(m)
+			}
+		})
+	}
+	return r
+}
+
+func (r *rig) run(t testing.TB) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) seed(a mem.Addr, w mem.Word) {
+	r.homes[r.geom.Home(r.geom.BlockOf(a))].store.WriteWord(a, w)
+}
+
+func (r *rig) read(t testing.TB, node int, a mem.Addr) mem.Word {
+	t.Helper()
+	var out mem.Word
+	got := false
+	r.nodes[node].Read(a, func(w mem.Word) { out = w; got = true })
+	r.run(t)
+	if !got {
+		t.Fatalf("node %d read never completed", node)
+	}
+	return out
+}
+
+func (r *rig) write(t testing.TB, node int, a mem.Addr, w mem.Word) {
+	t.Helper()
+	done := false
+	r.nodes[node].Write(a, w, func() { done = true })
+	r.run(t)
+	if !done {
+		t.Fatalf("node %d write never completed", node)
+	}
+}
+
+func TestReadMissFromMemory(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(17, 7)
+	if got := r.read(t, 2, 17); got != 7 {
+		t.Fatalf("read = %d, want 7", got)
+	}
+	// Hit on re-read: no extra traffic.
+	before := r.f.Coll.Total()
+	r.read(t, 2, 17)
+	if r.f.Coll.Total() != before {
+		t.Fatal("read hit generated traffic")
+	}
+}
+
+func TestWriteThenRemoteRead(t *testing.T) {
+	r := newRig(t, 4)
+	r.write(t, 1, 17, 42)
+	if got := r.read(t, 2, 17); got != 42 {
+		t.Fatalf("remote read after write = %d, want 42", got)
+	}
+	// The forward downgraded the owner and updated memory.
+	b := r.geom.BlockOf(17)
+	if r.homes[r.geom.Home(b)].Owner(b) != -1 {
+		t.Fatal("owner not cleared after downgrade")
+	}
+	if r.homes[r.geom.Home(b)].store.ReadWord(17) != 42 {
+		t.Fatal("memory not updated on downgrade")
+	}
+}
+
+func TestUpgradeInvalidatesSharers(t *testing.T) {
+	r := newRig(t, 8)
+	r.seed(17, 1)
+	for _, n := range []int{1, 2, 3, 4} {
+		r.read(t, n, 17)
+	}
+	r.f.Coll.Reset()
+	r.write(t, 1, 17, 2)
+	// Three other sharers must be invalidated.
+	if got := r.f.Coll.Kind(msg.Inv); got != 3 {
+		t.Fatalf("Inv count = %d, want 3", got)
+	}
+	if got := r.f.Coll.Kind(msg.InvAck); got != 3 {
+		t.Fatalf("InvAck count = %d, want 3", got)
+	}
+	for _, n := range []int{2, 3, 4} {
+		if l := r.nodes[n].cache.Peek(r.geom.BlockOf(17)); l != nil {
+			t.Fatalf("node %d still caches invalidated block", n)
+		}
+	}
+	// Invalidated sharers re-read the new value.
+	if got := r.read(t, 3, 17); got != 2 {
+		t.Fatalf("re-read = %d, want 2", got)
+	}
+}
+
+func TestWriteMissWithOwnerForwards(t *testing.T) {
+	r := newRig(t, 4)
+	r.write(t, 1, 17, 5)
+	r.write(t, 2, 17, 6) // ownership transfers 1 -> 2
+	b := r.geom.BlockOf(17)
+	if got := r.homes[r.geom.Home(b)].Owner(b); got != 2 {
+		t.Fatalf("owner = %d, want 2", got)
+	}
+	if l := r.nodes[1].cache.Peek(b); l != nil {
+		t.Fatal("old owner still caches the block")
+	}
+	if got := r.read(t, 3, 17); got != 6 {
+		t.Fatalf("read = %d, want 6", got)
+	}
+}
+
+func TestRMWReturnsOldValueAtomically(t *testing.T) {
+	r := newRig(t, 4)
+	r.seed(17, 10)
+	var old mem.Word
+	r.nodes[1].RMW(17, func(w mem.Word) mem.Word { return w + 1 }, func(o mem.Word) { old = o })
+	r.run(t)
+	if old != 10 {
+		t.Fatalf("RMW old = %d, want 10", old)
+	}
+	if got := r.read(t, 2, 17); got != 11 {
+		t.Fatalf("value after RMW = %d, want 11", got)
+	}
+}
+
+func TestConcurrentRMWNeverLosesIncrements(t *testing.T) {
+	r := newRig(t, 8)
+	const k = 20
+	inc := func(w mem.Word) mem.Word { return w + 1 }
+	for n := 0; n < 8; n++ {
+		n := n
+		remaining := k
+		var pump func(mem.Word)
+		pump = func(mem.Word) {
+			remaining--
+			if remaining > 0 {
+				r.nodes[n].RMW(17, inc, pump)
+			}
+		}
+		r.nodes[n].RMW(17, inc, pump)
+	}
+	r.run(t)
+	if got := r.read(t, 0, 17); got != 8*k {
+		t.Fatalf("counter = %d, want %d (lost RMW under contention)", got, 8*k)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.write(t, 1, 17, 9)
+	r.read(t, 1, r.geom.BaseAddr(9)) // evicts the dirty line
+	b := r.geom.BlockOf(17)
+	if got := r.homes[r.geom.Home(b)].store.ReadWord(17); got != 9 {
+		t.Fatalf("memory after eviction = %d, want 9", got)
+	}
+	if got := r.homes[r.geom.Home(b)].Owner(b); got != -1 {
+		t.Fatalf("owner after PutX = %d, want -1", got)
+	}
+	if len(r.nodes[1].wb) != 0 {
+		t.Fatal("write-back buffer not drained by PutAck")
+	}
+}
+
+func TestReadAfterOwnEvictionWaitsForWriteBack(t *testing.T) {
+	// The owner evicts a dirty line and immediately re-reads it: the home
+	// queues the GetS until the PutX lands, then serves fresh data.
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.write(t, 1, 17, 9)
+	r.read(t, 1, r.geom.BaseAddr(9)) // evict
+	if got := r.read(t, 1, 17); got != 9 {
+		t.Fatalf("re-read after eviction = %d, want 9", got)
+	}
+}
+
+func TestForwardedReadServedFromWriteBackBuffer(t *testing.T) {
+	// Node 1 owns dirty data, evicts (PutX in flight), and before the
+	// write-back lands node 2's read is forwarded to node 1, which must
+	// serve from its write-back buffer.
+	r := newRig(t, 4)
+	r.nodes[1] = NewNode(r.f, 1, r.geom, cache.New(r.geom, 1, 1))
+	r.write(t, 1, 17, 9)
+	// Trigger eviction and the remote read in the same cycle so the
+	// forward races the PutX.
+	evictDone, readDone := false, false
+	var got mem.Word
+	r.nodes[1].Read(r.geom.BaseAddr(9), func(mem.Word) { evictDone = true })
+	r.nodes[2].Read(17, func(w mem.Word) { got = w; readDone = true })
+	r.run(t)
+	if !evictDone || !readDone {
+		t.Fatal("operations never completed")
+	}
+	if got != 9 {
+		t.Fatalf("raced read = %d, want 9", got)
+	}
+}
+
+func TestInvalidationStormScalesWithSharers(t *testing.T) {
+	// The WBI cost the paper highlights: invalidation traffic grows with
+	// the number of sharers (Table 3's O(n^2) parallel-lock behaviour).
+	for _, n := range []int{4, 8, 16} {
+		r := newRig(t, n)
+		r.seed(17, 0)
+		for i := 1; i < n; i++ {
+			r.read(t, i, 17)
+		}
+		r.f.Coll.Reset()
+		r.write(t, 0, 17, 1)
+		if got := int(r.f.Coll.Kind(msg.Inv)); got != n-1 {
+			t.Fatalf("n=%d: Inv = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestSpinLockOnRMW(t *testing.T) {
+	// A test-and-set spin lock built from RMW: the WBI software baseline.
+	r := newRig(t, 4)
+	lockA := mem.Addr(17)
+	countA := mem.Addr(33) // different block
+	const k = 5
+	var acquire func(node int, cont func())
+	acquire = func(node int, cont func()) {
+		r.nodes[node].RMW(lockA, func(w mem.Word) mem.Word { return 1 }, func(old mem.Word) {
+			if old == 0 {
+				cont() // acquired
+				return
+			}
+			acquire(node, cont) // spin
+		})
+	}
+	release := func(node int, cont func()) {
+		r.nodes[node].Write(lockA, 0, cont)
+	}
+	for n := 0; n < 4; n++ {
+		n := n
+		remaining := k
+		var loop func()
+		loop = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			acquire(n, func() {
+				r.nodes[n].Read(countA, func(v mem.Word) {
+					r.nodes[n].Write(countA, v+1, func() {
+						release(n, loop)
+					})
+				})
+			})
+		}
+		loop()
+	}
+	r.run(t)
+	if got := r.read(t, 0, countA); got != 4*k {
+		t.Fatalf("lock-protected counter = %d, want %d", got, 4*k)
+	}
+}
+
+// Property: concurrent atomic increments from random nodes are never lost.
+func TestQuickRMWConservation(t *testing.T) {
+	f := func(nodes []uint8) bool {
+		r := newRig(t, 8)
+		for _, nn := range nodes {
+			node := int(nn % 8)
+			r.nodes[node].RMW(17, func(w mem.Word) mem.Word { return w + 1 }, func(mem.Word) {})
+			// Interleave: sometimes let the system drain, sometimes
+			// pile requests up across nodes.
+			if nn%3 == 0 {
+				if err := r.eng.Run(); err != nil {
+					return false
+				}
+			} else if r.nodes[node].pend != nil {
+				// A node can have only one outstanding request;
+				// drain before reusing it.
+				if err := r.eng.Run(); err != nil {
+					return false
+				}
+			}
+		}
+		if err := r.eng.Run(); err != nil {
+			return false
+		}
+		var got mem.Word
+		r.nodes[0].Read(17, func(w mem.Word) { got = w })
+		if err := r.eng.Run(); err != nil {
+			return false
+		}
+		return got == mem.Word(len(nodes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after arbitrary reads/writes drain, every cached copy of a
+// block equals memory unless a single exclusive owner exists.
+func TestQuickCoherenceInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		r := newRig(t, 4)
+		for _, op := range ops {
+			node := int(op % 4)
+			a := mem.Addr((op >> 2) % 8) // words within two blocks
+			if (op>>8)%2 == 0 {
+				r.nodes[node].Read(a, func(mem.Word) {})
+			} else {
+				r.nodes[node].Write(a, mem.Word(op), func() {})
+			}
+			if err := r.eng.Run(); err != nil {
+				return false
+			}
+		}
+		for b := mem.Block(0); b < 2; b++ {
+			home := r.homes[r.geom.Home(b)]
+			owner := home.Owner(b)
+			memBlk := home.store.ReadBlock(b)
+			for n := 0; n < 4; n++ {
+				l := r.nodes[n].cache.Peek(b)
+				if l == nil {
+					continue
+				}
+				if l.Excl && n != owner {
+					return false // two exclusives or wrong owner
+				}
+				if !l.Excl {
+					for i := range memBlk {
+						if l.Data[i] != memBlk[i] {
+							return false // stale shared copy
+						}
+					}
+				}
+			}
+			if owner >= 0 {
+				l := r.nodes[owner].cache.Peek(b)
+				if l == nil || !l.Excl {
+					return false // directory points at non-owner
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

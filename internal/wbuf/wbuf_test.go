@@ -1,0 +1,242 @@
+package wbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/sim"
+)
+
+func TestImmediateIssue(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{}, func(en Entry) { sent = append(sent, en) })
+	if !b.Add(3, 1, 42) {
+		t.Fatal("Add on unbounded buffer returned false")
+	}
+	if len(sent) != 1 || sent[0].Block != 3 || sent[0].WordIdx != 1 || sent[0].Word != 42 {
+		t.Fatalf("sent = %+v", sent)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (in flight)", b.Len())
+	}
+	b.Ack(sent[0].Seq)
+	if !b.Empty() {
+		t.Fatal("buffer not empty after ack")
+	}
+}
+
+func TestFlushWaitsForAllAcks(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{}, func(en Entry) { sent = append(sent, en) })
+	b.Add(1, 0, 1)
+	b.Add(2, 0, 2)
+	b.Add(3, 0, 3)
+	flushed := false
+	b.OnEmpty(func() { flushed = true })
+	if flushed {
+		t.Fatal("flush completed with writes outstanding")
+	}
+	b.Ack(sent[0].Seq)
+	b.Ack(sent[1].Seq)
+	if flushed {
+		t.Fatal("flush completed with one write outstanding")
+	}
+	b.Ack(sent[2].Seq)
+	if !flushed {
+		t.Fatal("flush did not complete after final ack")
+	}
+}
+
+func TestFlushOnEmptyBufferIsImmediate(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, Options{}, func(Entry) {})
+	done := false
+	b.OnEmpty(func() { done = true })
+	if !done {
+		t.Fatal("OnEmpty on empty buffer did not fire immediately")
+	}
+	if b.Stats().Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", b.Stats().Flushes)
+	}
+}
+
+func TestBoundedBufferStalls(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{Capacity: 2}, func(en Entry) { sent = append(sent, en) })
+	if !b.Add(1, 0, 1) || !b.Add(2, 0, 2) {
+		t.Fatal("adds under capacity failed")
+	}
+	if b.Add(3, 0, 3) {
+		t.Fatal("Add on full buffer succeeded")
+	}
+	var resumed bool
+	b.OnSpace(func() { resumed = true })
+	if resumed {
+		t.Fatal("OnSpace fired while full")
+	}
+	b.Ack(sent[0].Seq)
+	if !resumed {
+		t.Fatal("OnSpace did not fire after ack")
+	}
+	if !b.Add(3, 0, 3) {
+		t.Fatal("Add after space freed failed")
+	}
+}
+
+func TestOnSpaceImmediateWhenNotFull(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, Options{Capacity: 2}, func(Entry) {})
+	fired := false
+	b.OnSpace(func() { fired = true })
+	if !fired {
+		t.Fatal("OnSpace on non-full buffer did not fire immediately")
+	}
+}
+
+func TestIssueDelayPacesIssues(t *testing.T) {
+	e := sim.NewEngine()
+	var times []sim.Time
+	b := New(e, Options{IssueDelay: 10}, func(Entry) { times = append(times, e.Now()) })
+	b.Add(1, 0, 1)
+	b.Add(2, 0, 2)
+	b.Add(3, 0, 3)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{0, 10, 20}
+	if len(times) != 3 {
+		t.Fatalf("issued %d, want 3", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("issue times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCoalesceMergesQueuedWrites(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{IssueDelay: 10, Coalesce: true}, func(en Entry) { sent = append(sent, en) })
+	b.Add(1, 0, 100) // issues immediately
+	b.Add(2, 1, 200) // queued (issue slot at t=10)
+	b.Add(2, 1, 201) // coalesces with queued entry
+	b.Add(2, 2, 300) // different word: no coalesce
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 3 {
+		t.Fatalf("sent %d entries, want 3", len(sent))
+	}
+	if sent[1].Word != 201 {
+		t.Fatalf("coalesced value = %d, want 201", sent[1].Word)
+	}
+	if b.Stats().Coalesced != 1 {
+		t.Fatalf("Coalesced = %d, want 1", b.Stats().Coalesced)
+	}
+}
+
+func TestCoalesceDoesNotMergeInflight(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{Coalesce: true}, func(en Entry) { sent = append(sent, en) })
+	b.Add(1, 0, 100) // issued immediately: in flight, not coalescible
+	b.Add(1, 0, 101)
+	if len(sent) != 2 {
+		t.Fatalf("sent %d entries, want 2 (in-flight writes must not coalesce)", len(sent))
+	}
+}
+
+func TestAckUnknownPanics(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, Options{}, func(Entry) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Ack with nothing in flight did not panic")
+		}
+	}()
+	b.Ack(7)
+}
+
+func TestNilSendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil send did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Options{}, nil)
+}
+
+func TestMaxDepth(t *testing.T) {
+	e := sim.NewEngine()
+	var sent []Entry
+	b := New(e, Options{}, func(en Entry) { sent = append(sent, en) })
+	for i := 0; i < 5; i++ {
+		b.Add(mem.Block(i), 0, 0)
+	}
+	for _, en := range sent {
+		b.Ack(en.Seq)
+	}
+	if b.Stats().MaxDepth != 5 {
+		t.Fatalf("MaxDepth = %d, want 5", b.Stats().MaxDepth)
+	}
+}
+
+// Property: every added write is eventually issued exactly once (without
+// coalescing), and after acking all issues the buffer is empty and all
+// flush waiters have fired.
+func TestQuickConservation(t *testing.T) {
+	f := func(writes []uint16, delay uint8) bool {
+		e := sim.NewEngine()
+		var sent []Entry
+		b := New(e, Options{IssueDelay: sim.Time(delay % 5)}, func(en Entry) { sent = append(sent, en) })
+		for _, w := range writes {
+			if !b.Add(mem.Block(w%7), int(w%4), mem.Word(w)) {
+				return false
+			}
+		}
+		flushed := false
+		b.OnEmpty(func() { flushed = true })
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(sent) != len(writes) {
+			return false
+		}
+		for _, en := range sent {
+			b.Ack(en.Seq)
+		}
+		return b.Empty() && flushed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a bounded buffer, Len never exceeds capacity.
+func TestQuickCapacityRespected(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := sim.NewEngine()
+		var sent []Entry
+		b := New(e, Options{Capacity: 3}, func(en Entry) { sent = append(sent, en) })
+		for _, op := range ops {
+			if op%2 == 0 {
+				b.Add(mem.Block(op), 0, 0)
+			} else if len(sent) > 0 && b.Len() > 0 {
+				b.Ack(sent[0].Seq)
+				sent = sent[1:]
+			}
+			if b.Len() > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

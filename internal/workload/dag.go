@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ssmp/internal/core"
+	"ssmp/internal/sim"
+)
+
+// WorkDAG is the full form of the paper's work-queue model (§5.2): "a large
+// problem is divided into atomic tasks, and dependencies between tasks are
+// checked. Tasks are inserted into a work queue of executable tasks
+// honoring such dependencies, thus making the work queue non-FIFO."
+//
+// Tasks 0..Tasks-1 form a random DAG (edges only from lower to higher
+// indices, so it is acyclic by construction). A task enters the ready queue
+// when its last dependency completes; workers draw from the ready queue
+// under the central queue lock, execute the task's grain of references, and
+// re-enter the queue to publish newly released tasks. Processors run until
+// every task has executed, then meet at a barrier.
+type WorkDAG struct {
+	// Tasks is the number of tasks.
+	Tasks int
+	// DepProb is the probability of an edge from each of up to MaxDeps
+	// candidate predecessors.
+	DepProb float64
+	// MaxDeps caps a task's dependency count (default 3).
+	MaxDeps int
+	// Seed drives both DAG construction and the reference streams.
+	Seed uint64
+
+	deps     [][]int // deps[i] = predecessors of task i
+	children [][]int
+}
+
+// Build constructs the DAG (idempotent).
+func (w *WorkDAG) Build() {
+	if w.deps != nil {
+		return
+	}
+	if w.MaxDeps == 0 {
+		w.MaxDeps = 3
+	}
+	rng := rand.New(rand.NewPCG(w.Seed^0xD1B54A32D192ED03, 0))
+	w.deps = make([][]int, w.Tasks)
+	w.children = make([][]int, w.Tasks)
+	for i := 1; i < w.Tasks; i++ {
+		for d := 0; d < w.MaxDeps; d++ {
+			if rng.Float64() >= w.DepProb {
+				continue
+			}
+			p := rng.IntN(i)
+			w.deps[i] = append(w.deps[i], p)
+			w.children[p] = append(w.children[p], i)
+		}
+	}
+}
+
+// CriticalPath returns the longest dependency chain length (in tasks), a
+// lower bound on parallel completion.
+func (w *WorkDAG) CriticalPath() int {
+	w.Build()
+	depth := make([]int, w.Tasks)
+	longest := 0
+	for i := 0; i < w.Tasks; i++ {
+		d := 1
+		for _, p := range w.deps[i] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[i] = d
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// DAGStats reports what a run did.
+type DAGStats struct {
+	TasksExecuted int
+	// Order records task completion order (for dependency verification).
+	Order []int
+	// MaxReady is the high-water mark of simultaneously ready tasks.
+	MaxReady int
+}
+
+// Programs builds one program per processor. The ready queue is LIFO — the
+// paper's point is precisely that dependency release makes it non-FIFO.
+func (w *WorkDAG) Programs(procs int, p Params, layout Layout, kit SyncKit) ([]core.Program, *DAGStats) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	w.Build()
+	stats := &DAGStats{}
+
+	// Shared scheduler state, mutated only inside the queue lock's
+	// critical sections (the simulation is single-threaded, so this is
+	// deterministic bookkeeping, not a race).
+	indeg := make([]int, w.Tasks)
+	var ready []int
+	for i := 0; i < w.Tasks; i++ {
+		indeg[i] = len(w.deps[i])
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) == 0 && w.Tasks > 0 {
+		panic("workload: DAG has no roots")
+	}
+	remaining := w.Tasks
+
+	progs := make([]core.Program, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		progs[i] = func(pr *core.Proc) {
+			rs := &refStream{rng: rand.New(rand.NewPCG(w.Seed, uint64(i)+5000)), p: p, layout: layout}
+			bar := kit.Barrier(procs)
+			for {
+				// Dequeue a ready task under the queue lock.
+				kit.QueueLock.Acquire(pr)
+				for k := 0; k < p.QueueRefs; k++ {
+					rs.dataRef(pr, p.SharedRatioQueue)
+				}
+				task := -1
+				if len(ready) > 0 {
+					task = ready[len(ready)-1] // LIFO: non-FIFO by design
+					ready = ready[:len(ready)-1]
+				}
+				done := remaining == 0
+				kit.QueueLock.Release(pr)
+				if done {
+					break
+				}
+				if task < 0 {
+					// Tasks remain but none are ready: their
+					// dependencies are still executing.
+					pr.Think(sim.Time(p.QueueRefs) * 4)
+					continue
+				}
+				// Execute the task.
+				for k := 0; k < p.Grain; k++ {
+					rs.dataRef(pr, p.SharedRatioTask)
+				}
+				// Publish completions: release children under the
+				// queue lock (the "insertion honoring dependencies").
+				kit.QueueLock.Acquire(pr)
+				for k := 0; k < p.QueueRefs; k++ {
+					rs.dataRef(pr, p.SharedRatioQueue)
+				}
+				stats.TasksExecuted++
+				stats.Order = append(stats.Order, task)
+				remaining--
+				for _, c := range w.children[task] {
+					indeg[c]--
+					if indeg[c] == 0 {
+						ready = append(ready, c)
+					}
+					if indeg[c] < 0 {
+						panic(fmt.Sprintf("workload: task %d released twice", c))
+					}
+				}
+				if len(ready) > stats.MaxReady {
+					stats.MaxReady = len(ready)
+				}
+				kit.QueueLock.Release(pr)
+			}
+			bar.Wait(pr)
+		}
+	}
+	return progs, stats
+}

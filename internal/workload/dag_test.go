@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+)
+
+func TestWorkDAGExecutesAllTasksRespectingDependencies(t *testing.T) {
+	procs := 4
+	cfg := mkCfg(procs, core.ProtoCBL)
+	p := DefaultParams()
+	p.Grain = 16
+	layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	dag := &WorkDAG{Tasks: 30, DepProb: 0.5, Seed: 3}
+	progs, stats := dag.Programs(procs, p, layout, CBLKit(layout, procs))
+	if _, err := Run(cfg, progs); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksExecuted != 30 {
+		t.Fatalf("executed %d tasks, want 30", stats.TasksExecuted)
+	}
+	// Dependencies respected: every task completes after its parents.
+	pos := map[int]int{}
+	for i, task := range stats.Order {
+		pos[task] = i
+	}
+	dag.Build()
+	for task := 0; task < 30; task++ {
+		for _, parent := range dag.deps[task] {
+			if pos[parent] > pos[task] {
+				t.Fatalf("task %d completed before its dependency %d", task, parent)
+			}
+		}
+	}
+}
+
+func TestWorkDAGNonFIFO(t *testing.T) {
+	// With dependencies and LIFO draw, completion order differs from task
+	// numbering — the paper's "non-FIFO" property.
+	procs := 4
+	cfg := mkCfg(procs, core.ProtoCBL)
+	p := DefaultParams()
+	p.Grain = 8
+	layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	dag := &WorkDAG{Tasks: 40, DepProb: 0.4, Seed: 5}
+	progs, stats := dag.Programs(procs, p, layout, CBLKit(layout, procs))
+	if _, err := Run(cfg, progs); err != nil {
+		t.Fatal(err)
+	}
+	inOrder := true
+	for i, task := range stats.Order {
+		if task != i {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("completion order is exactly FIFO; the queue should be non-FIFO")
+	}
+}
+
+func TestWorkDAGCriticalPathBoundsSpeedup(t *testing.T) {
+	// A deep chain cannot finish faster than its critical path regardless
+	// of processor count.
+	dag := &WorkDAG{Tasks: 24, DepProb: 0.9, MaxDeps: 1, Seed: 7}
+	cp := dag.CriticalPath()
+	if cp < 5 {
+		t.Skipf("generated DAG too shallow (cp=%d) for a meaningful bound", cp)
+	}
+	procs := 8
+	cfg := mkCfg(procs, core.ProtoCBL)
+	p := DefaultParams()
+	p.Grain = 32
+	layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	progs, _ := dag.Programs(procs, p, layout, CBLKit(layout, procs))
+	res, err := Run(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each task costs at least Grain cycles of references.
+	minCycles := uint64(cp) * uint64(p.Grain)
+	if uint64(res.Cycles) < minCycles {
+		t.Fatalf("completed in %d cycles, below the critical-path bound %d", res.Cycles, minCycles)
+	}
+}
+
+func TestWorkDAGOnWBI(t *testing.T) {
+	procs := 4
+	cfg := mkCfg(procs, core.ProtoWBI)
+	p := DefaultParams()
+	p.Grain = 8
+	layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	dag := &WorkDAG{Tasks: 20, DepProb: 0.3, Seed: 11}
+	progs, stats := dag.Programs(procs, p, layout, WBIKit(layout, procs, false))
+	if _, err := Run(cfg, progs); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksExecuted != 20 {
+		t.Fatalf("executed %d", stats.TasksExecuted)
+	}
+}
+
+// Property: for any seed, every task runs exactly once and dependency order
+// holds.
+func TestQuickWorkDAGSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		procs := 4
+		cfg := mkCfg(procs, core.ProtoCBL)
+		p := DefaultParams()
+		p.Grain = 4
+		p.QueueRefs = 2
+		layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+		dag := &WorkDAG{Tasks: 16, DepProb: 0.5, Seed: seed}
+		progs, stats := dag.Programs(procs, p, layout, CBLKit(layout, procs))
+		if _, err := Run(cfg, progs); err != nil {
+			return false
+		}
+		if stats.TasksExecuted != 16 || len(stats.Order) != 16 {
+			return false
+		}
+		seen := map[int]bool{}
+		pos := map[int]int{}
+		for i, task := range stats.Order {
+			if seen[task] {
+				return false
+			}
+			seen[task] = true
+			pos[task] = i
+		}
+		for task := 0; task < 16; task++ {
+			for _, parent := range dag.deps[task] {
+				if pos[parent] > pos[task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

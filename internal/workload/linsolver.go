@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+	"ssmp/internal/syncprim"
+)
+
+// LinSolver is the linear-equation-solver workload of the paper's §4.1
+// analysis (Table 2): n processors iterate x_i <- (b_i - Σ_{j≠i} a_ij x_j)
+// / a_ii, every processor reading the whole x vector each iteration and
+// publishing its own element, with a barrier per iteration.
+//
+// Three configurations reproduce the three Table 2 schemes:
+//
+//   - read-update (the paper's machine): readers subscribe to the x vector
+//     with READ-UPDATE; writers publish with WRITE-GLOBAL.
+//   - inv-I (WBI, colocated): x elements packed B per cache line.
+//   - inv-II (WBI, separate): one x element per line.
+//
+// The computation is real: the matrix is diagonally dominant, values flow
+// through the simulated memory system as float64 bits, and Verify checks
+// the residual of the solution the machine computed.
+type LinSolver struct {
+	// N is the number of equations and processors.
+	N int
+	// Iters is the number of Jacobi iterations.
+	Iters int
+	// Colocate packs x elements densely (inv-I / read-update); otherwise
+	// each element gets its own block (inv-II).
+	Colocate bool
+	// ReadUpdate selects the paper's machine (READ-UPDATE subscription);
+	// otherwise the workload targets the WBI machine.
+	ReadUpdate bool
+
+	geom mem.Geometry
+}
+
+// xBase is the block where the x vector starts (clear of the workload
+// layout's other regions).
+const xBase = 5120
+
+// XAddr returns the simulated address of x[i].
+func (ls *LinSolver) XAddr(i int) mem.Addr {
+	if ls.Colocate {
+		return ls.geom.BaseAddr(xBase) + mem.Addr(i)
+	}
+	return ls.geom.BaseAddr(xBase + mem.Block(i))
+}
+
+// barAddr names the per-iteration hardware barrier.
+func (ls *LinSolver) barAddr() mem.Addr { return ls.geom.BaseAddr(xBase - 2) }
+
+// swBarAddrs are the software barrier words (separate blocks).
+func (ls *LinSolver) swBarAddrs() (count, gen mem.Addr) {
+	return ls.geom.BaseAddr(xBase - 4), ls.geom.BaseAddr(xBase - 6)
+}
+
+// coefficient a_ij of the diagonally dominant system: a_ii = n+1,
+// a_ij = 1/(1+|i-j|) otherwise; b_i = i+1.
+func (ls *LinSolver) a(i, j int) float64 {
+	if i == j {
+		return float64(ls.N + 1)
+	}
+	return 1.0 / float64(1+abs(i-j))
+}
+
+func (ls *LinSolver) b(i int) float64 { return float64(i + 1) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Programs builds one program per processor for machine geometry geom.
+func (ls *LinSolver) Programs(geom mem.Geometry) []core.Program {
+	if ls.N != geom.Nodes {
+		panic(fmt.Sprintf("workload: LinSolver.N=%d but machine has %d nodes", ls.N, geom.Nodes))
+	}
+	ls.geom = geom
+	progs := make([]core.Program, ls.N)
+	for i := 0; i < ls.N; i++ {
+		i := i
+		progs[i] = func(p *core.Proc) { ls.run(p, i) }
+	}
+	return progs
+}
+
+func (ls *LinSolver) run(p *core.Proc, i int) {
+	var bar syncprim.Barrier
+	if ls.ReadUpdate {
+		bar = syncprim.HWBarrier{Addr: ls.barAddr(), Participants: ls.N}
+	} else {
+		cnt, gen := ls.swBarAddrs()
+		bar = syncprim.SWBarrier{CountAddr: cnt, GenAddr: gen, Participants: ls.N}
+	}
+
+	read := func(j int) float64 {
+		var w mem.Word
+		if ls.ReadUpdate {
+			w = p.ReadUpdate(ls.XAddr(j))
+		} else {
+			w = p.Read(ls.XAddr(j))
+		}
+		return math.Float64frombits(uint64(w))
+	}
+	write := func(v float64) {
+		w := mem.Word(math.Float64bits(v))
+		if ls.ReadUpdate {
+			p.WriteGlobal(ls.XAddr(i), w)
+		} else {
+			p.Write(ls.XAddr(i), w)
+		}
+	}
+
+	// Initial load of the whole x vector (Table 2's "initial load" row);
+	// x starts at the zero vector.
+	x := make([]float64, ls.N)
+	for j := 0; j < ls.N; j++ {
+		x[j] = read(j)
+	}
+	bar.Wait(p)
+
+	for it := 0; it < ls.Iters; it++ {
+		// Read phase: refresh the full vector (Table 2's "read" row).
+		for j := 0; j < ls.N; j++ {
+			if j != i {
+				x[j] = read(j)
+			}
+		}
+		// Compute and publish (Table 2's "write" row).
+		sum := 0.0
+		for j := 0; j < ls.N; j++ {
+			if j != i {
+				sum += ls.a(i, j) * x[j]
+			}
+		}
+		xi := (ls.b(i) - sum) / ls.a(i, i)
+		x[i] = xi
+		write(xi)
+		// Synchronize iterations; a CP-Synch barrier flushes the
+		// write buffer, so memory is current before the next read
+		// phase.
+		bar.Wait(p)
+	}
+}
+
+// Verify reads the solution back from the machine's memory and returns the
+// max-norm residual ||Ax - b||_inf.
+func (ls *LinSolver) Verify(m *core.Machine) float64 {
+	n := ls.N
+	ls.geom = m.Geometry()
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = math.Float64frombits(uint64(m.ReadMemory(ls.XAddr(i))))
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += ls.a(i, j) * x[j]
+		}
+		if r := math.Abs(sum - ls.b(i)); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

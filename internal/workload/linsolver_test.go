@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"ssmp/internal/core"
+	"ssmp/internal/msg"
+)
+
+func runSolver(t *testing.T, procs, iters int, colocate, readUpdate bool) (*core.Machine, *LinSolver) {
+	t.Helper()
+	cfg := core.DefaultConfig(procs)
+	cfg.CacheSets = 64
+	if !readUpdate {
+		cfg.Protocol = core.ProtoWBI
+	}
+	m := core.NewMachine(cfg)
+	ls := &LinSolver{N: procs, Iters: iters, Colocate: colocate, ReadUpdate: readUpdate}
+	if _, err := m.Run(ls.Programs(m.Geometry())); err != nil {
+		t.Fatal(err)
+	}
+	return m, ls
+}
+
+func TestLinSolverConvergesReadUpdate(t *testing.T) {
+	m, ls := runSolver(t, 8, 40, true, true)
+	if r := ls.Verify(m); r > 1e-6 {
+		t.Fatalf("residual = %g, want < 1e-6 (values corrupted in flight?)", r)
+	}
+}
+
+func TestLinSolverConvergesWBIColocated(t *testing.T) {
+	m, ls := runSolver(t, 8, 40, true, false)
+	if r := ls.Verify(m); r > 1e-6 {
+		t.Fatalf("inv-I residual = %g", r)
+	}
+}
+
+func TestLinSolverConvergesWBISeparate(t *testing.T) {
+	m, ls := runSolver(t, 8, 40, false, false)
+	if r := ls.Verify(m); r > 1e-6 {
+		t.Fatalf("inv-II residual = %g", r)
+	}
+}
+
+func TestLinSolverTable2ReadShape(t *testing.T) {
+	// Table 2's core claim: the read phase of the next iteration is far
+	// cheaper under read-update (updates arrive unsolicited) than under
+	// invalidation (every reader re-fetches every element). Compare
+	// block-transfer counts.
+	count := func(readUpdate, colocate bool) uint64 {
+		cfg := core.DefaultConfig(8)
+		cfg.CacheSets = 64
+		if !readUpdate {
+			cfg.Protocol = core.ProtoWBI
+		}
+		m := core.NewMachine(cfg)
+		ls := &LinSolver{N: 8, Iters: 12, Colocate: colocate, ReadUpdate: readUpdate}
+		if _, err := m.Run(ls.Programs(m.Geometry())); err != nil {
+			t.Fatal(err)
+		}
+		return m.Messages().Class(msg.BlockXfer)
+	}
+	ru := count(true, true)
+	inv2 := count(false, false)
+	if ru >= inv2 {
+		t.Fatalf("read-update block transfers (%d) not below inv-II (%d)", ru, inv2)
+	}
+}
+
+func TestLinSolverAddressingModes(t *testing.T) {
+	geom := core.DefaultConfig(8)
+	ls := &LinSolver{N: 8, Colocate: true}
+	ls.geom.BlockWords = geom.BlockWords
+	ls.geom.Nodes = 8
+	// Colocated: 4 elements per 4-word block.
+	if ls.geom.BlockOf(ls.XAddr(0)) != ls.geom.BlockOf(ls.XAddr(3)) {
+		t.Fatal("colocated x[0] and x[3] in different blocks")
+	}
+	if ls.geom.BlockOf(ls.XAddr(0)) == ls.geom.BlockOf(ls.XAddr(4)) {
+		t.Fatal("colocated x[0] and x[4] in the same block")
+	}
+	ls2 := &LinSolver{N: 8, Colocate: false}
+	ls2.geom = ls.geom
+	if ls2.geom.BlockOf(ls2.XAddr(0)) == ls2.geom.BlockOf(ls2.XAddr(1)) {
+		t.Fatal("separate x[0] and x[1] share a block")
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+	"ssmp/internal/msg"
+)
+
+func patternMachine(t testing.TB, proto core.Protocol, procs int) (*core.Machine, Layout, SyncKit) {
+	t.Helper()
+	cfg := core.DefaultConfig(procs)
+	cfg.Protocol = proto
+	cfg.CacheSets = 64
+	m := core.NewMachine(cfg)
+	p := DefaultParams()
+	layout := NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: procs}, p)
+	var kit SyncKit
+	if proto == core.ProtoCBL {
+		kit = CBLKit(layout, procs)
+	} else {
+		kit = WBIKit(layout, procs, false)
+	}
+	return m, layout, kit
+}
+
+func TestMigratoryNoLostIncrements(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtoCBL, core.ProtoWBI} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			m, layout, kit := patternMachine(t, proto, 8)
+			progs, check := Migratory(8, 10, kit, layout)
+			if _, err := m.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			if !check(m) {
+				t.Fatal("migratory increments lost")
+			}
+		})
+	}
+}
+
+func TestProducerConsumerReadUpdateCheaperThanInvalidation(t *testing.T) {
+	// The READ-UPDATE sweet spot: block traffic per write should be far
+	// lower with subscriptions than with invalidate-and-refetch.
+	run := func(proto core.Protocol, useRU bool) uint64 {
+		m, layout, kit := patternMachine(t, proto, 8)
+		progs := ProducerConsumer(8, 20, layout, useRU, kit)
+		if _, err := m.Run(progs); err != nil {
+			t.Fatal(err)
+		}
+		return m.Messages().Class(msg.BlockXfer) + m.Messages().Class(msg.Invalidation)
+	}
+	ru := run(core.ProtoCBL, true)
+	inv := run(core.ProtoWBI, false)
+	if ru >= inv {
+		t.Fatalf("read-update traffic (%d) not below invalidation (%d)", ru, inv)
+	}
+}
+
+func TestMigratoryInvalidationCompetitive(t *testing.T) {
+	// The flip side: on the migratory pattern, WBI's ownership chasing is
+	// competitive with CBL's lock+unlock data shuttling — the ratio must
+	// stay within a small factor (the pattern's point is that no scheme
+	// wins everywhere).
+	run := func(proto core.Protocol) uint64 {
+		m, layout, kit := patternMachine(t, proto, 8)
+		progs, _ := Migratory(8, 10, kit, layout)
+		res, err := m.Run(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Cycles)
+	}
+	cbl := run(core.ProtoCBL)
+	wbi := run(core.ProtoWBI)
+	ratio := float64(wbi) / float64(cbl)
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("migratory cycles ratio WBI/CBL = %.2f, expected same ballpark", ratio)
+	}
+}
+
+func TestWideSharedStormScalesOnWBI(t *testing.T) {
+	run := func(procs int) uint64 {
+		m, layout, _ := patternMachine(t, core.ProtoWBI, procs)
+		progs := WideShared(procs, 30, 5, layout)
+		if _, err := m.Run(progs); err != nil {
+			t.Fatal(err)
+		}
+		return m.Messages().Kind(msg.Inv)
+	}
+	i4, i16 := run(4), run(16)
+	if i16 <= i4 {
+		t.Fatalf("invalidation storm did not grow with sharers: %d -> %d", i4, i16)
+	}
+}
+
+func TestWideSharedRunsOnCBL(t *testing.T) {
+	m, layout, _ := patternMachine(t, core.ProtoCBL, 8)
+	progs := WideShared(8, 30, 5, layout)
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CBL machine's plain reads/global writes generate no
+	// invalidations at all.
+	if m.Messages().Kind(msg.Inv) != 0 {
+		t.Fatal("CBL machine produced invalidations")
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no work done")
+	}
+}

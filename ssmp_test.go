@@ -1,0 +1,72 @@
+package ssmp_test
+
+import (
+	"testing"
+
+	"ssmp"
+)
+
+// TestPublicAPISmoke exercises the re-exported surface end to end: a CBL
+// machine with hardware locks, a WBI machine with software locks, the
+// workload builders, and the analytic models.
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := ssmp.DefaultConfig(4)
+	cfg.CacheSets = 16
+	m := ssmp.NewMachine(cfg)
+	progs := make([]ssmp.Program, 4)
+	for i := range progs {
+		progs[i] = func(p *ssmp.Proc) {
+			p.WriteLock(100)
+			p.Write(100, p.Read(100)+1)
+			p.Unlock(100)
+		}
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if got := m.ReadMemory(100); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestPublicWorkloadBuilders(t *testing.T) {
+	cfg := ssmp.DefaultConfig(4)
+	cfg.CacheSets = 32
+	p := ssmp.DefaultWorkloadParams()
+	p.Grain = 16
+	layout := ssmp.NewLayout(cfg, p)
+	kit := ssmp.CBLKit(layout, 4)
+	progs := ssmp.SyncModel(4, 2, p, layout, kit, 1)
+	if _, err := ssmp.NewMachine(cfg).Run(progs); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgW := ssmp.DefaultConfig(4)
+	cfgW.Protocol = ssmp.ProtoWBI
+	cfgW.CacheSets = 32
+	kitW := ssmp.WBIKit(ssmp.NewLayout(cfgW, p), 4, true)
+	progsW, stats := ssmp.WorkQueue(4, 10, 0, p, ssmp.NewLayout(cfgW, p), kitW, 1)
+	if _, err := ssmp.NewMachine(cfgW).Run(progsW); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksExecuted != 10 {
+		t.Fatalf("tasks executed = %d", stats.TasksExecuted)
+	}
+}
+
+func TestPublicAnalytic(t *testing.T) {
+	rows := ssmp.Table2Analytic(16, 4)
+	if len(rows) != 3 {
+		t.Fatalf("Table 2 rows = %d", len(rows))
+	}
+	p := ssmp.SyncParams{N: 16, Tnw: 4, Tcs: 50, TD: 1, Tm: 4}
+	w := ssmp.Table3WBI("parallel lock", p)
+	c := ssmp.Table3CBL("parallel lock", p)
+	if c.Messages >= w.Messages {
+		t.Fatalf("CBL %v >= WBI %v", c.Messages, w.Messages)
+	}
+}
