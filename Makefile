@@ -1,0 +1,26 @@
+# Single source of truth for the commands CI and humans run.
+
+GO ?= go
+
+.PHONY: build test race vet bench serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+serve: build
+	$(GO) run ./cmd/ssmpd -addr :8080
+
+clean:
+	$(GO) clean ./...

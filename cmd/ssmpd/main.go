@@ -1,0 +1,84 @@
+// Command ssmpd serves the simulator as a long-running HTTP daemon: a
+// bounded worker pool runs simulation jobs, a content-addressed cache
+// serves repeated configurations without re-simulating, and /metrics
+// exposes the serving counters.
+//
+// Usage:
+//
+//	ssmpd -addr :8080 -workers 8 -queue 32 -cache 4096
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/sim -d '{"procs":16,"workload":"queue"}'
+//	curl -s 'localhost:8080/v1/figure/4?procs=2,4,8'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish (up to
+// -drain-timeout), new jobs get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssmp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	cacheEntries := flag.Int("cache", 4096, "result cache entries (negative disables)")
+	defaultTimeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on requested per-job timeouts")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
+	quiet := flag.Bool("quiet", false, "suppress request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var srvLog *log.Logger
+	if !*quiet {
+		srvLog = logger
+	}
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            srvLog,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("ssmpd: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Fatalf("ssmpd: %v", err)
+	case got := <-sig:
+		logger.Printf("ssmpd: %v, draining (deadline %s)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the worker pool.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("ssmpd: http shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		logger.Fatalf("ssmpd: drain incomplete: %v", err)
+	}
+	logger.Printf("ssmpd: bye")
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// spinProgs returns programs that never finish: each processor ping-pongs a
+// shared word forever. Used to exercise the early-exit paths.
+func spinProgs(nodes int) []Program {
+	progs := make([]Program, nodes)
+	for i := range progs {
+		progs[i] = func(p *Proc) {
+			for {
+				p.SharedWrite(0, p.SharedRead(0)+1)
+			}
+		}
+	}
+	return progs
+}
+
+func TestRunContextCancelUnwindsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMachine(DefaultConfig(4))
+	_, err := m.RunContext(ctx, spinProgs(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+func TestRunContextDeadlineUnwindsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	m := NewMachine(DefaultConfig(4))
+	_, err := m.RunContext(ctx, spinProgs(4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+func TestHorizonUnwindsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := DefaultConfig(4)
+	cfg.Horizon = 10_000
+	m := NewMachine(cfg)
+	if _, err := m.Run(spinProgs(4)); err == nil {
+		t.Fatal("want horizon error, got nil")
+	}
+	waitGoroutines(t, before)
+}
+
+func TestDeadlockUnwindsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	progs := make([]Program, 2)
+	progs[0] = func(p *Proc) {
+		p.WriteLock(0)
+		// Never unlocks; processor 1 blocks forever.
+	}
+	progs[1] = func(p *Proc) {
+		p.Think(100)
+		p.WriteLock(0)
+	}
+	m := NewMachine(DefaultConfig(2))
+	_, err := m.Run(progs)
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if len(dl.Stuck) == 0 {
+		t.Fatal("deadlock error names no stuck processors")
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines asserts the goroutine count returns to its pre-run level
+// (allowing scheduler slack: aborted program goroutines finish their
+// deferred unwind asynchronously).
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,6 +51,7 @@ type Machine struct {
 	nodes []*node
 
 	running  bool
+	aborting bool
 	finished int
 	hist     *history.Recorder
 	onOp     func(OpRecord)
@@ -207,16 +209,49 @@ func (e *ErrDeadlock) Error() string {
 	return fmt.Sprintf("core: deadlock — processors %v blocked with no pending events", e.Stuck)
 }
 
+// drainAborted unwinds every still-parked program goroutine after the event
+// loop has stopped early (cancellation, horizon, deadlock). Each goroutine
+// is parked on its resume channel; resuming with the abort flag set makes
+// it unwind via an abortSignal panic, so no goroutines outlive the run.
+func (m *Machine) drainAborted() {
+	m.aborting = true
+	for _, n := range m.nodes {
+		if n.proc.done {
+			continue
+		}
+		n.proc.resume <- 0
+		<-n.proc.yield
+	}
+}
+
 // Run executes one program per processor to completion and returns the
 // run's metrics. Programs[i] runs on processor i; a nil entry idles that
 // processor. Run may be called once per Machine.
 func (m *Machine) Run(programs []Program) (Result, error) {
+	return m.RunContext(context.Background(), programs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the event loop stops at the next interrupt poll, every
+// program goroutine is unwound, and the ctx error is returned. Cancellation
+// cannot perturb a completed run's determinism — it only ends a run early.
+func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, error) {
 	if m.running {
 		panic("core: Machine.Run called twice")
 	}
 	m.running = true
 	if len(programs) != m.cfg.Nodes {
 		panic(fmt.Sprintf("core: %d programs for %d nodes", len(programs), m.cfg.Nodes))
+	}
+	if ctx.Done() != nil {
+		m.eng.SetInterrupt(func() error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
 	}
 	active := 0
 	for i, prog := range programs {
@@ -229,6 +264,7 @@ func (m *Machine) Run(programs []Program) (Result, error) {
 	}
 	m.finished = m.cfg.Nodes - active
 	if err := m.eng.Run(); err != nil {
+		m.drainAborted()
 		return Result{}, fmt.Errorf("core: %w at cycle %d", err, m.eng.Now())
 	}
 	if m.finished < m.cfg.Nodes {
@@ -238,6 +274,7 @@ func (m *Machine) Run(programs []Program) (Result, error) {
 				stuck = append(stuck, n.id)
 			}
 		}
+		m.drainAborted()
 		return Result{}, &ErrDeadlock{Stuck: stuck}
 	}
 	for _, n := range m.nodes {

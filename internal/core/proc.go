@@ -93,12 +93,19 @@ func newProc(m *Machine, n *node) *Proc {
 	return &Proc{id: n.id, m: m, n: n, resume: make(chan mem.Word), yield: make(chan struct{})}
 }
 
+// abortSignal is the panic value used to unwind a program goroutine when
+// its machine's run is abandoned (cancelled, horizon, deadlock). It is
+// absorbed by the recover in start and never reported as a program error.
+type abortSignal struct{}
+
 // start launches the program goroutine and schedules its first step.
 func (p *Proc) start(prog Program) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				p.err = r
+				if _, aborted := r.(abortSignal); !aborted {
+					p.err = r
+				}
 			}
 			p.done = true
 			p.stats.Finished = p.m.eng.Now()
@@ -106,6 +113,9 @@ func (p *Proc) start(prog Program) {
 			p.yield <- struct{}{}
 		}()
 		<-p.resume
+		if p.m.aborting {
+			return
+		}
 		prog(p)
 	}()
 	p.m.eng.At(0, func() { p.step(0) })
@@ -122,10 +132,15 @@ func (p *Proc) step(w mem.Word) {
 }
 
 // wait parks the program until the event loop resumes it. Called from the
-// program goroutine only.
+// program goroutine only. A resume issued by an abort drain unwinds the
+// program instead of returning to it.
 func (p *Proc) wait() mem.Word {
 	p.yield <- struct{}{}
-	return <-p.resume
+	w := <-p.resume
+	if p.m.aborting {
+		panic(abortSignal{})
+	}
+	return w
 }
 
 // waitAs parks the program and charges the elapsed cycles to a stall

@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,6 +43,25 @@ type Options struct {
 	Params workload.Params
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+
+	// ctx, when non-nil, cancels in-flight sweeps; see WithContext.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the options whose sweeps stop early when
+// ctx is cancelled: the error-returning entry points (FigureByNumber)
+// propagate the context error, and the simulated machine itself aborts
+// mid-run, so even a single long simulation honors the deadline.
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+func (o Options) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns the sweep used by the committed experiment runs.
@@ -65,10 +85,10 @@ func (o Options) logf(format string, args ...any) {
 // Figure is one reproduced figure: completion-time series over processor
 // count.
 type Figure struct {
-	Name   string
-	Title  string
-	XLabel string
-	Series []*metrics.Series
+	Name   string            `json:"name"`
+	Title  string            `json:"title"`
+	XLabel string            `json:"x_label"`
+	Series []*metrics.Series `json:"series"`
 }
 
 // Table renders the figure as an aligned text table.
@@ -87,7 +107,7 @@ func (o Options) config(procs int, proto core.Protocol, cons core.Consistency) c
 }
 
 // runSync runs the sync workload model and returns completion cycles.
-func (o Options) runSync(procs int, proto core.Protocol, cons core.Consistency, grain int) float64 {
+func (o Options) runSync(procs int, proto core.Protocol, cons core.Consistency, grain int) (float64, error) {
 	p := o.Params
 	p.Grain = grain
 	cfg := o.config(procs, proto, cons)
@@ -99,16 +119,16 @@ func (o Options) runSync(procs int, proto core.Protocol, cons core.Consistency, 
 		kit = workload.WBIKit(layout, procs, false)
 	}
 	progs := workload.SyncModel(procs, o.Episodes, p, layout, kit, o.Seed)
-	res, err := workload.Run(cfg, progs)
+	res, err := workload.RunContext(o.context(), cfg, progs)
 	if err != nil {
-		panic(fmt.Sprintf("harness: sync model %v/%v p=%d: %v", proto, cons, procs, err))
+		return 0, fmt.Errorf("harness: sync model %v/%v p=%d: %w", proto, cons, procs, err)
 	}
 	o.logf("  sync %v %v procs=%d grain=%d: %d cycles, %d msgs", proto, cons, procs, grain, res.Cycles, res.Messages)
-	return float64(res.Cycles)
+	return float64(res.Cycles), nil
 }
 
 // runQueue runs the work-queue model and returns completion cycles.
-func (o Options) runQueue(procs int, proto core.Protocol, cons core.Consistency, grain int, backoff bool) float64 {
+func (o Options) runQueue(procs int, proto core.Protocol, cons core.Consistency, grain int, backoff bool) (float64, error) {
 	p := o.Params
 	p.Grain = grain
 	cfg := o.config(procs, proto, cons)
@@ -120,47 +140,79 @@ func (o Options) runQueue(procs int, proto core.Protocol, cons core.Consistency,
 		kit = workload.WBIKit(layout, procs, backoff)
 	}
 	progs, _ := workload.WorkQueue(procs, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
-	res, err := workload.Run(cfg, progs)
+	res, err := workload.RunContext(o.context(), cfg, progs)
 	if err != nil {
-		panic(fmt.Sprintf("harness: work-queue %s p=%d: %v", kit.Name, procs, err))
+		return 0, fmt.Errorf("harness: work-queue %s p=%d: %w", kit.Name, procs, err)
 	}
 	o.logf("  queue %s %v procs=%d grain=%d: %d cycles, %d msgs", kit.Name, cons, procs, grain, res.Cycles, res.Messages)
-	return float64(res.Cycles)
+	return float64(res.Cycles), nil
 }
 
 // cacheSchemesFigure builds Figures 4 and 5: WBI vs CBL on both workload
 // models, without buffered consistency (the paper runs these under SC).
-func (o Options) cacheSchemesFigure(name, title string, grain int) Figure {
+func (o Options) cacheSchemesFigure(name, title string, grain int) (Figure, error) {
 	wbiS := &metrics.Series{Name: "WBI"}
 	cblS := &metrics.Series{Name: "CBL"}
 	qWBI := &metrics.Series{Name: "Q-WBI"}
 	qBack := &metrics.Series{Name: "Q-backoff"}
 	qCBL := &metrics.Series{Name: "Q-CBL"}
+	cells := []struct {
+		s       *metrics.Series
+		sync    bool
+		proto   core.Protocol
+		backoff bool
+	}{
+		{wbiS, true, core.ProtoWBI, false},
+		{cblS, true, core.ProtoCBL, false},
+		{qWBI, false, core.ProtoWBI, false},
+		{qBack, false, core.ProtoWBI, true},
+		{qCBL, false, core.ProtoCBL, false},
+	}
 	for _, n := range o.Procs {
-		x := float64(n)
-		wbiS.Add(x, o.runSync(n, core.ProtoWBI, core.SC, grain))
-		cblS.Add(x, o.runSync(n, core.ProtoCBL, core.SC, grain))
-		qWBI.Add(x, o.runQueue(n, core.ProtoWBI, core.SC, grain, false))
-		qBack.Add(x, o.runQueue(n, core.ProtoWBI, core.SC, grain, true))
-		qCBL.Add(x, o.runQueue(n, core.ProtoCBL, core.SC, grain, false))
+		for _, c := range cells {
+			var y float64
+			var err error
+			if c.sync {
+				y, err = o.runSync(n, c.proto, core.SC, grain)
+			} else {
+				y, err = o.runQueue(n, c.proto, core.SC, grain, c.backoff)
+			}
+			if err != nil {
+				return Figure{}, err
+			}
+			c.s.Add(float64(n), y)
+		}
 	}
 	return Figure{
 		Name:   name,
 		Title:  title,
 		XLabel: "procs",
 		Series: []*metrics.Series{wbiS, cblS, qWBI, qBack, qCBL},
+	}, nil
+}
+
+// mustFigure preserves the historic panic-on-failure behaviour of the
+// FigureN entry points, which predate the error-returning API.
+func mustFigure(f Figure, err error) Figure {
+	if err != nil {
+		panic(err)
 	}
+	return f
 }
 
 // Figure4 reproduces Figure 4: cache schemes at medium granularity.
-func (o Options) Figure4() Figure {
+func (o Options) Figure4() Figure { return mustFigure(o.figure4()) }
+
+func (o Options) figure4() (Figure, error) {
 	return o.cacheSchemesFigure("Figure 4",
 		"completion time of cache schemes, medium-granularity parallelism",
 		workload.MediumGrain)
 }
 
 // Figure5 reproduces Figure 5: cache schemes at coarse granularity.
-func (o Options) Figure5() Figure {
+func (o Options) Figure5() Figure { return mustFigure(o.figure5()) }
+
+func (o Options) figure5() (Figure, error) {
 	return o.cacheSchemesFigure("Figure 5",
 		"completion time of cache schemes, coarse-granularity parallelism",
 		workload.CoarseGrain)
@@ -168,21 +220,30 @@ func (o Options) Figure5() Figure {
 
 // consistencyFigure builds Figures 6 and 7: BC-CBL vs SC-CBL on the
 // work-queue model.
-func (o Options) consistencyFigure(name, title string, grain int) Figure {
+func (o Options) consistencyFigure(name, title string, grain int) (Figure, error) {
 	sc := &metrics.Series{Name: "SC-CBL"}
 	bc := &metrics.Series{Name: "BC-CBL"}
 	for _, n := range o.Procs {
 		x := float64(n)
-		sc.Add(x, o.runQueue(n, core.ProtoCBL, core.SC, grain, false))
-		bc.Add(x, o.runQueue(n, core.ProtoCBL, core.BC, grain, false))
+		y, err := o.runQueue(n, core.ProtoCBL, core.SC, grain, false)
+		if err != nil {
+			return Figure{}, err
+		}
+		sc.Add(x, y)
+		if y, err = o.runQueue(n, core.ProtoCBL, core.BC, grain, false); err != nil {
+			return Figure{}, err
+		}
+		bc.Add(x, y)
 	}
 	return Figure{Name: name, Title: title, XLabel: "procs",
-		Series: []*metrics.Series{sc, bc}}
+		Series: []*metrics.Series{sc, bc}}, nil
 }
 
 // Figure6 reproduces Figure 6: buffered vs sequential consistency at fine
 // granularity.
-func (o Options) Figure6() Figure {
+func (o Options) Figure6() Figure { return mustFigure(o.figure6()) }
+
+func (o Options) figure6() (Figure, error) {
 	return o.consistencyFigure("Figure 6",
 		"buffered vs sequential consistency, fine-granularity parallelism",
 		workload.FineGrain)
@@ -190,7 +251,9 @@ func (o Options) Figure6() Figure {
 
 // Figure7 reproduces Figure 7: buffered vs sequential consistency at
 // medium granularity.
-func (o Options) Figure7() Figure {
+func (o Options) Figure7() Figure { return mustFigure(o.figure7()) }
+
+func (o Options) figure7() (Figure, error) {
 	return o.consistencyFigure("Figure 7",
 		"buffered vs sequential consistency, medium-granularity parallelism",
 		workload.MediumGrain)
@@ -235,7 +298,7 @@ func (o Options) UtilizationFigure(grain int) Figure {
 				kit = workload.WBIKit(layout, n, rw.backoff)
 			}
 			progs, _ := workload.WorkQueue(n, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
-			res, err := workload.Run(cfg, progs)
+			res, err := workload.RunContext(o.context(), cfg, progs)
 			if err != nil {
 				panic(fmt.Sprintf("harness: utilization %s p=%d: %v", rw.name, n, err))
 			}
@@ -252,17 +315,19 @@ func (o Options) UtilizationFigure(grain int) Figure {
 	}
 }
 
-// FigureByNumber runs one figure (4-7).
+// FigureByNumber runs one figure (4-7). A simulation failure — including
+// cancellation of a context installed with WithContext — is returned, not
+// panicked.
 func (o Options) FigureByNumber(n int) (Figure, error) {
 	switch n {
 	case 4:
-		return o.Figure4(), nil
+		return o.figure4()
 	case 5:
-		return o.Figure5(), nil
+		return o.figure5()
 	case 6:
-		return o.Figure6(), nil
+		return o.figure6()
 	case 7:
-		return o.Figure7(), nil
+		return o.figure7()
 	}
 	return Figure{}, fmt.Errorf("harness: no figure %d (the paper has Figures 4-7)", n)
 }

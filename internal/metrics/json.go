@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"ssmp/internal/msg"
+)
+
+// collectorJSON is the wire form of a Collector: kinds by their String()
+// names (stable across reorderings of the Kind enum), classes by the
+// paper's C_* notation. Classes and the total are derivable from the kinds
+// and are re-derived on unmarshal, so a round trip cannot produce a
+// collector whose class counters disagree with its kind counters.
+type collectorJSON struct {
+	Total   uint64            `json:"total"`
+	Kinds   map[string]uint64 `json:"kinds,omitempty"`
+	Classes map[string]uint64 `json:"classes,omitempty"`
+}
+
+// MarshalJSON renders the collector's nonzero counters. This is the one
+// serialization shared by the ssmpd /metrics endpoint and the CLIs.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	out := collectorJSON{Total: c.total}
+	for k := 1; k < msg.NumKinds; k++ {
+		if c.byKind[k] > 0 {
+			if out.Kinds == nil {
+				out.Kinds = map[string]uint64{}
+			}
+			out.Kinds[msg.Kind(k).String()] = c.byKind[k]
+		}
+	}
+	for cl := 0; cl < msg.NumClasses; cl++ {
+		if c.byClass[cl] > 0 {
+			if out.Classes == nil {
+				out.Classes = map[string]uint64{}
+			}
+			out.Classes[msg.Class(cl).String()] = c.byClass[cl]
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON rebuilds a collector from its MarshalJSON form. Class and
+// total counters are re-derived from the kind counts.
+func (c *Collector) UnmarshalJSON(data []byte) error {
+	var in collectorJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	c.Reset()
+	for name, n := range in.Kinds {
+		k, ok := msg.KindFromString(name)
+		if !ok {
+			return fmt.Errorf("metrics: unknown message kind %q", name)
+		}
+		c.byKind[k] += n
+		c.byClass[msg.ClassOf(k)] += n
+		c.total += n
+	}
+	return nil
+}
+
+// histogramJSON is the wire form of a Histogram. Buckets map the bucket
+// index (see Histogram: power-of-two boundaries) to its count; only
+// nonzero buckets are emitted. Mean is included for human readers and
+// ignored on unmarshal (it is derivable from sum and count).
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Mean    float64           `json:"mean"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the histogram's nonzero buckets plus its summary
+// statistics.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{Count: h.count, Sum: h.sum, Max: h.max, Mean: h.Mean()}
+	for i, n := range h.buckets {
+		if n > 0 {
+			if out.Buckets == nil {
+				out.Buckets = map[string]uint64{}
+			}
+			out.Buckets[strconv.Itoa(i)] = n
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON rebuilds a histogram from its MarshalJSON form.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Histogram{count: in.Count, sum: in.Sum, max: in.Max}
+	for key, n := range in.Buckets {
+		i, err := strconv.Atoi(key)
+		if err != nil || i < 0 || i >= len(h.buckets) {
+			return fmt.Errorf("metrics: bad histogram bucket index %q", key)
+		}
+		h.buckets[i] = n
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ssmp/internal/msg"
+)
+
+func TestCollectorJSONRoundTrip(t *testing.T) {
+	var c Collector
+	for i := 0; i < 5; i++ {
+		c.Count(msg.ReadMiss)
+	}
+	for i := 0; i < 3; i++ {
+		c.Count(msg.ReadMissReply)
+	}
+	c.Count(msg.LockGrant)
+	c.Count(msg.Inv)
+
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Collector
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != c {
+		t.Fatalf("round trip changed collector:\n before %v\n after  %v", c, got)
+	}
+	if got.Total() != 10 {
+		t.Fatalf("total = %d, want 10", got.Total())
+	}
+	if got.Kind(msg.ReadMiss) != 5 || got.Class(msg.ClassOf(msg.ReadMiss)) == 0 {
+		t.Fatalf("kind/class counters lost: %v", got)
+	}
+	if !strings.Contains(string(data), `"read-miss"`) {
+		t.Fatalf("JSON does not use kind names: %s", data)
+	}
+}
+
+func TestCollectorJSONEmpty(t *testing.T) {
+	var c Collector
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Collector
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != c {
+		t.Fatalf("empty round trip changed collector: %s", data)
+	}
+}
+
+func TestCollectorJSONRejectsUnknownKind(t *testing.T) {
+	var c Collector
+	if err := json.Unmarshal([]byte(`{"kinds":{"no-such-kind":1}}`), &c); err == nil {
+		t.Fatal("want error for unknown kind, got nil")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 3, 8, 100, 1 << 20} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip changed histogram:\n before %+v\n after  %+v", h, got)
+	}
+	if got.Count() != 7 || got.Max() != 1<<20 || got.Mean() != h.Mean() {
+		t.Fatalf("summary stats lost: count=%d max=%d mean=%g", got.Count(), got.Max(), got.Mean())
+	}
+	if q, want := got.Quantile(0.5), h.Quantile(0.5); q != want {
+		t.Fatalf("quantile after round trip = %d, want %d", q, want)
+	}
+}
+
+func TestHistogramJSONRejectsBadBucket(t *testing.T) {
+	var h Histogram
+	for _, bad := range []string{`{"buckets":{"x":1}}`, `{"buckets":{"-1":1}}`, `{"buckets":{"99":1}}`} {
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Fatalf("want error for %s, got nil", bad)
+		}
+	}
+}

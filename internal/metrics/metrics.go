@@ -138,14 +138,14 @@ func (h *Histogram) Quantile(q float64) uint64 {
 
 // Point is one (x, y) sample of a figure series.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is a named curve, e.g. one line of Figure 4.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Add appends a point.

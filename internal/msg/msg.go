@@ -168,6 +168,23 @@ func (k Kind) String() string {
 // NumKinds is the number of defined message kinds (for stats arrays).
 const NumKinds = int(kindCount)
 
+// kindByName inverts kindNames for parsing serialized counters.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		if name != "" {
+			m[name] = Kind(k)
+		}
+	}
+	return m
+}()
+
+// KindFromString returns the Kind with the given String() name.
+func KindFromString(s string) (Kind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
+}
+
 // Class is the paper's message cost taxonomy.
 type Class uint8
 

@@ -1,0 +1,96 @@
+package server
+
+import "testing"
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v; want 3, true", v, ok)
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// get(a) hit, get(b) miss, get(a) hit, get(c) hit.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestResultCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", 1)
+	c.put("a", 2)
+	if v, _ := c.get("a"); v.(int) != 2 {
+		t.Fatalf("a = %v, want 2", v)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", 1)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestSpecKeyStability(t *testing.T) {
+	a := SimSpec{Procs: 8, Protocol: "CBL"}
+	b := SimSpec{Procs: 8} // cbl is the default; case is normalized
+	for _, s := range []*SimSpec{&a, &b} {
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent specs hash differently:\n %s\n %s", a.Key(), b.Key())
+	}
+	c := SimSpec{Procs: 8, Protocol: "wbi"}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Key() == a.Key() {
+		t.Fatal("different specs share a key")
+	}
+	// Sim and figure keys must never collide even on equal encodings.
+	f := FigureSpec{Figure: 4}
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Key() == a.Key() {
+		t.Fatal("figure and sim specs share a key")
+	}
+}
+
+func TestSimSpecValidation(t *testing.T) {
+	bad := []SimSpec{
+		{Procs: 3},
+		{Procs: 512},
+		{Protocol: "mesi"},
+		{Protocol: "wbi", Consistency: "bc"},
+		{Workload: "matrix"},
+		{Topology: "torus"},
+		{Grain: -1},
+	}
+	for i, s := range bad {
+		s := s
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %d (%+v) should not validate", i, s)
+		}
+	}
+}

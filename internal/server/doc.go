@@ -1,0 +1,27 @@
+// Package server implements ssmpd, the simulation-as-a-service daemon: an
+// HTTP JSON API that runs the repository's deterministic multiprocessor
+// simulations on a bounded worker pool behind a content-addressed result
+// cache.
+//
+// The design leans on one property of the simulator: a run is a pure
+// function of its specification. The same (machine config, workload, seed)
+// produces a bit-identical core.Result, so results can be cached exactly —
+// no TTLs, no invalidation — under a key that is the SHA-256 of the
+// canonicalized job specification. Identical jobs submitted concurrently
+// are deduplicated in flight: one simulation runs, every waiter shares its
+// outcome.
+//
+// Endpoints:
+//
+//	POST /v1/sim        run one simulation (or serve it from cache)
+//	POST /v1/figure     reproduce one paper figure (4-7)
+//	GET  /v1/figure/{n} same, with query-parameter overrides
+//	GET  /healthz       liveness and drain state
+//	GET  /metrics       JSON snapshot: queue, workers, cache, latencies
+//
+// Backpressure is explicit: when the job queue is full the daemon answers
+// 429 with a Retry-After header rather than buffering unboundedly. Per-job
+// deadlines propagate into the event loop via core.Machine.RunContext, so
+// a timed-out job stops simulating instead of burning a worker. Shutdown
+// drains: accepted jobs finish, new ones are refused with 503.
+package server

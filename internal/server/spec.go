@@ -1,0 +1,308 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ssmp/internal/core"
+	"ssmp/internal/harness"
+	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+	"ssmp/internal/network"
+	"ssmp/internal/workload"
+)
+
+// SimSpec is the canonical specification of one simulation job. After
+// Normalize, the struct is fully determined (every default applied), so
+// its JSON encoding — struct fields marshal in declaration order — is a
+// canonical form, and its hash addresses the result exactly: the simulator
+// guarantees the same spec produces a bit-identical result.
+type SimSpec struct {
+	// Procs is the machine size (a power of two).
+	Procs int `json:"procs"`
+	// Protocol is "cbl" or "wbi".
+	Protocol string `json:"protocol"`
+	// Consistency is "bc" or "sc" (CBL machine; WBI forces "sc").
+	Consistency string `json:"consistency"`
+	// Topology is "omega", "mesh", or "bus".
+	Topology string `json:"topology"`
+	// Workload is "sync" or "queue".
+	Workload string `json:"workload"`
+	// Grain is the references-per-task granularity.
+	Grain int `json:"grain"`
+	// Episodes is the sync model's episodes per processor.
+	Episodes int `json:"episodes"`
+	// Tasks is the work-queue model's initial task count.
+	Tasks int `json:"tasks"`
+	// SpawnProb is the work-queue model's task-spawn probability
+	// (pointer so that an explicit 0 is distinguishable from "default").
+	SpawnProb *float64 `json:"spawn_prob,omitempty"`
+	// Backoff selects exponential backoff for WBI software locks.
+	Backoff bool `json:"backoff"`
+	// Seed drives all workload randomness.
+	Seed *uint64 `json:"seed,omitempty"`
+
+	// Ablation toggles (see core.Config).
+	DirectHandoff bool `json:"direct_handoff"`
+	WriteUpdate   bool `json:"write_update"`
+	IdealNetwork  bool `json:"ideal_network"`
+	DanceHall     bool `json:"dance_hall"`
+	DirPointers   int  `json:"dir_pointers"`
+}
+
+// maxSpecProcs caps the accepted machine size: a request is a few hundred
+// bytes, but the simulation it names is O(procs · work), and the daemon
+// should refuse jobs that cannot plausibly finish within a request
+// deadline.
+const maxSpecProcs = 128
+
+// Normalize applies defaults in place and validates the spec.
+func (s *SimSpec) Normalize() error {
+	if s.Procs == 0 {
+		s.Procs = 16
+	}
+	s.Protocol = strings.ToLower(s.Protocol)
+	if s.Protocol == "" {
+		s.Protocol = "cbl"
+	}
+	s.Consistency = strings.ToLower(s.Consistency)
+	if s.Consistency == "" {
+		if s.Protocol == "wbi" {
+			s.Consistency = "sc"
+		} else {
+			s.Consistency = "bc"
+		}
+	}
+	s.Topology = strings.ToLower(s.Topology)
+	if s.Topology == "" {
+		s.Topology = "omega"
+	}
+	s.Workload = strings.ToLower(s.Workload)
+	if s.Workload == "" {
+		s.Workload = "queue"
+	}
+	if s.Grain == 0 {
+		s.Grain = workload.MediumGrain
+	}
+	if s.Episodes == 0 {
+		s.Episodes = 8
+	}
+	if s.Tasks == 0 {
+		s.Tasks = 128
+	}
+	if s.SpawnProb == nil {
+		p := 0.2
+		s.SpawnProb = &p
+	}
+	if s.Seed == nil {
+		v := uint64(42)
+		s.Seed = &v
+	}
+
+	if s.Procs < 2 || s.Procs > maxSpecProcs || s.Procs&(s.Procs-1) != 0 {
+		return fmt.Errorf("procs must be a power of two in [2,%d], got %d", maxSpecProcs, s.Procs)
+	}
+	switch s.Protocol {
+	case "cbl", "wbi":
+	default:
+		return fmt.Errorf("protocol must be cbl or wbi, got %q", s.Protocol)
+	}
+	switch s.Consistency {
+	case "bc", "sc":
+	default:
+		return fmt.Errorf("consistency must be bc or sc, got %q", s.Consistency)
+	}
+	if s.Protocol == "wbi" && s.Consistency != "sc" {
+		return fmt.Errorf("the wbi machine is always sequentially consistent")
+	}
+	switch s.Topology {
+	case "omega", "mesh", "bus":
+	default:
+		return fmt.Errorf("topology must be omega, mesh, or bus, got %q", s.Topology)
+	}
+	switch s.Workload {
+	case "sync", "queue":
+	default:
+		return fmt.Errorf("workload must be sync or queue, got %q", s.Workload)
+	}
+	if s.Grain < 1 || s.Grain > 65536 {
+		return fmt.Errorf("grain must be in [1,65536], got %d", s.Grain)
+	}
+	if s.Episodes < 1 || s.Episodes > 4096 {
+		return fmt.Errorf("episodes must be in [1,4096], got %d", s.Episodes)
+	}
+	if s.Tasks < 1 || s.Tasks > 1<<20 {
+		return fmt.Errorf("tasks must be in [1,%d], got %d", s.Tasks, 1<<20)
+	}
+	if p := *s.SpawnProb; p < 0 || p >= 1 {
+		return fmt.Errorf("spawn_prob must be in [0,1), got %g", p)
+	}
+	if s.DirPointers < 0 {
+		return fmt.Errorf("dir_pointers must be >= 0, got %d", s.DirPointers)
+	}
+	return nil
+}
+
+// Key returns the spec's content address. Call Normalize first.
+func (s *SimSpec) Key() string { return specKey("sim", s) }
+
+// config builds the machine configuration the spec names.
+func (s *SimSpec) config() core.Config {
+	cfg := core.DefaultConfig(s.Procs)
+	if s.Protocol == "wbi" {
+		cfg.Protocol = core.ProtoWBI
+	}
+	if s.Consistency == "sc" {
+		cfg.Consistency = core.SC
+	}
+	switch s.Topology {
+	case "mesh":
+		cfg.Topology = network.TopMesh
+	case "bus":
+		cfg.Topology = network.TopBus
+	}
+	cfg.DirectHandoff = s.DirectHandoff
+	cfg.WriteUpdate = s.WriteUpdate
+	cfg.IdealNetwork = s.IdealNetwork
+	cfg.DanceHall = s.DanceHall
+	cfg.DirMaxPointers = s.DirPointers
+	return cfg
+}
+
+// SimResult is the JSON form of a completed simulation.
+type SimResult struct {
+	Cycles          uint64  `json:"cycles"`
+	Messages        uint64  `json:"messages"`
+	MeanNetLatency  float64 `json:"mean_net_latency"`
+	MeanNetQueueing float64 `json:"mean_net_queueing"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	// ByKind breaks Messages down by message kind and cost class
+	// (metrics.Collector's JSON form).
+	ByKind *metrics.Collector `json:"by_kind"`
+}
+
+// run executes the spec on a fresh machine. The returned collector is the
+// run's message counters (also referenced from the result), for merging
+// into the daemon's aggregate counters.
+func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, error) {
+	cfg := s.config()
+	p := workload.DefaultParams()
+	p.Grain = s.Grain
+	layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}, p)
+	var kit workload.SyncKit
+	if cfg.Protocol == core.ProtoCBL {
+		kit = workload.CBLKit(layout, s.Procs)
+	} else {
+		kit = workload.WBIKit(layout, s.Procs, s.Backoff)
+	}
+	var progs []core.Program
+	if s.Workload == "sync" {
+		progs = workload.SyncModel(s.Procs, s.Episodes, p, layout, kit, *s.Seed)
+	} else {
+		progs, _ = workload.WorkQueue(s.Procs, s.Tasks, *s.SpawnProb, p, layout, kit, *s.Seed)
+	}
+	m := core.NewMachine(cfg)
+	res, err := m.RunContext(ctx, progs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SimResult{
+		Cycles:          uint64(res.Cycles),
+		Messages:        res.Messages,
+		MeanNetLatency:  res.MeanNetLatency,
+		MeanNetQueueing: res.MeanNetQueueing,
+		MeanUtilization: res.MeanUtilization,
+		ByKind:          m.Messages(),
+	}, m.Messages(), nil
+}
+
+// FigureSpec is the canonical specification of a paper-figure job: which
+// figure, and the sweep parameters the harness exposes.
+type FigureSpec struct {
+	// Figure is the paper figure number (4-7).
+	Figure int `json:"figure"`
+	// Procs is the processor-count sweep.
+	Procs []int `json:"procs"`
+	// Episodes, Tasks, SpawnProb, Seed override harness defaults.
+	Episodes  int      `json:"episodes"`
+	Tasks     int      `json:"tasks"`
+	SpawnProb *float64 `json:"spawn_prob,omitempty"`
+	Seed      *uint64  `json:"seed,omitempty"`
+}
+
+// Normalize applies harness defaults in place and validates the spec.
+func (f *FigureSpec) Normalize() error {
+	def := harness.DefaultOptions()
+	if f.Procs == nil {
+		f.Procs = def.Procs
+	}
+	if f.Episodes == 0 {
+		f.Episodes = def.Episodes
+	}
+	if f.Tasks == 0 {
+		f.Tasks = def.Tasks
+	}
+	if f.SpawnProb == nil {
+		f.SpawnProb = &def.SpawnProb
+	}
+	if f.Seed == nil {
+		f.Seed = &def.Seed
+	}
+
+	if f.Figure < 4 || f.Figure > 7 {
+		return fmt.Errorf("figure must be 4-7, got %d", f.Figure)
+	}
+	if len(f.Procs) == 0 || len(f.Procs) > 16 {
+		return fmt.Errorf("procs sweep must have 1-16 entries, got %d", len(f.Procs))
+	}
+	for _, n := range f.Procs {
+		if n < 2 || n > maxSpecProcs || n&(n-1) != 0 {
+			return fmt.Errorf("procs entries must be powers of two in [2,%d], got %d", maxSpecProcs, n)
+		}
+	}
+	if f.Episodes < 1 || f.Episodes > 4096 {
+		return fmt.Errorf("episodes must be in [1,4096], got %d", f.Episodes)
+	}
+	if f.Tasks < 1 || f.Tasks > 1<<20 {
+		return fmt.Errorf("tasks must be in [1,%d], got %d", f.Tasks, 1<<20)
+	}
+	if p := *f.SpawnProb; p < 0 || p >= 1 {
+		return fmt.Errorf("spawn_prob must be in [0,1), got %g", p)
+	}
+	return nil
+}
+
+// Key returns the spec's content address. Call Normalize first.
+func (f *FigureSpec) Key() string { return specKey("figure", f) }
+
+// run reproduces the figure through the harness.
+func (f *FigureSpec) run(ctx context.Context) (*harness.Figure, error) {
+	o := harness.DefaultOptions()
+	o.Procs = f.Procs
+	o.Episodes = f.Episodes
+	o.Tasks = f.Tasks
+	o.SpawnProb = *f.SpawnProb
+	o.Seed = *f.Seed
+	fig, err := o.WithContext(ctx).FigureByNumber(f.Figure)
+	if err != nil {
+		return nil, err
+	}
+	return &fig, nil
+}
+
+// specKey hashes a normalized spec into its content address. The kind tag
+// keeps differently-typed specs with coincidentally equal encodings apart;
+// a version bump belongs here if a spec's canonical form ever changes
+// meaning.
+func specKey(kind string, spec any) string {
+	enc, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("server: canonicalizing %s spec: %v", kind, err))
+	}
+	sum := sha256.Sum256(append([]byte("ssmpd/v1/"+kind+"\x00"), enc...))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

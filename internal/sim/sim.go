@@ -91,12 +91,13 @@ func (h Handle) Pending() bool {
 
 // Engine is the event loop. The zero value is not usable; call NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	fired   uint64
-	stopped bool
-	limit   Time // horizon; Infinity when unset
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	fired     uint64
+	stopped   bool
+	limit     Time // horizon; Infinity when unset
+	interrupt func() error
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -124,6 +125,20 @@ func (e *Engine) SetHorizon(t Time) { e.limit = t }
 // released).
 var ErrHorizon = errors.New("sim: horizon exceeded")
 
+// interruptEvery is how many fired events pass between interrupt polls.
+// Polling per event would put a function call (and, for context-backed
+// interrupts, a channel select) on the hot path; every 1024 events keeps
+// the overhead unmeasurable while still bounding cancellation latency to
+// well under a millisecond of wall time.
+const interruptEvery = 1024
+
+// SetInterrupt installs a poll function consulted periodically during Run;
+// a non-nil return stops the loop and Run returns that error. The poll is
+// deliberately coarse (every 1024 events) so it stays off the hot path.
+// Pass nil to remove the interrupt. Interrupts do not affect determinism:
+// they can only end a run early, never reorder events.
+func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, never a recoverable condition.
 func (e *Engine) At(t Time, fn Event) Handle {
@@ -149,11 +164,17 @@ func (e *Engine) After(d Time, fn Event) Handle {
 // completion).
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run executes events until the queue drains, Stop is called, or the horizon
-// is exceeded. It returns nil on a drained queue or explicit Stop.
+// Run executes events until the queue drains, Stop is called, the horizon
+// is exceeded, or an installed interrupt reports an error. It returns nil
+// on a drained queue or explicit Stop.
 func (e *Engine) Run() error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		if e.interrupt != nil && e.fired%interruptEvery == 0 {
+			if err := e.interrupt(); err != nil {
+				return err
+			}
+		}
 		it := heap.Pop(&e.queue).(*item)
 		if it.dead {
 			continue

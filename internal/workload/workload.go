@@ -27,6 +27,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -340,8 +341,13 @@ func WorkQueue(procs, tasks int, spawnProb float64, p Params, layout Layout, kit
 // Run is a convenience wrapper: build a machine from cfg, run the programs,
 // and return the result.
 func Run(cfg core.Config, progs []core.Program) (core.Result, error) {
+	return RunContext(context.Background(), cfg, progs)
+}
+
+// RunContext is Run with cancellation (see core.Machine.RunContext).
+func RunContext(ctx context.Context, cfg core.Config, progs []core.Program) (core.Result, error) {
 	m := core.NewMachine(cfg)
-	return m.Run(progs)
+	return m.RunContext(ctx, progs)
 }
 
 // Horizon suggests a simulation horizon generous enough for the given work.

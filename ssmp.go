@@ -235,6 +235,16 @@ func CaptureTrace(m *Machine) *trace.Builder { return trace.Capture(m) }
 // Series is a named (x, y) curve produced by the harness.
 type Series = metrics.Series
 
+// Evaluation counters (package metrics). Both types serialize to JSON —
+// the same form the ssmpd daemon's /metrics endpoint and sim results use.
+type (
+	// MessageStats counts network messages by kind and cost class;
+	// Machine.Messages returns the run's counters.
+	MessageStats = metrics.Collector
+	// Histogram is a power-of-two-bucket distribution.
+	Histogram = metrics.Histogram
+)
+
 // History verification (package history).
 type (
 	// HistoryRecorder accumulates memory operations with real-time
