@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench serve clean
+.PHONY: build test race vet bench bench-json bench-smoke serve clean
+
+# Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
+BENCHJSON_FLAGS ?=
 
 build:
 	$(GO) build ./...
@@ -18,6 +21,18 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable throughput record: best of 3 runs, written to
+# results/BENCH_2.json (see cmd/benchjson).
+bench-json:
+	$(GO) test -bench=SimulatorThroughput -benchmem -benchtime=2s -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -out results/BENCH_2.json
+	@cat results/BENCH_2.json
+
+# One-iteration benchmark smoke: proves the bench path builds and runs; used
+# by CI, where timing numbers would be noise anyway.
+bench-smoke:
+	$(GO) test -bench=SimulatorThroughput -benchtime=1x -run=^$$ .
 
 serve: build
 	$(GO) run ./cmd/ssmpd -addr :8080

@@ -1,0 +1,204 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record, so performance numbers are committed in a form scripts
+// and later PRs can diff.
+//
+//	go test -bench=SimulatorThroughput -benchmem -count=3 -run='^$' . |
+//	    go run ./cmd/benchjson -out results/BENCH_2.json
+//
+// When a benchmark appears multiple times (-count), the run with the lowest
+// ns/op wins: minimum wall time is the least noisy estimator on a shared
+// machine. A -baseline file (a previous benchjson output) embeds
+// before-vs-after ratios next to the new numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's result.
+type Entry struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// SimCyclesPerOp is the benchmark's custom sim-cycles/op metric;
+	// SimCyclesPerSec derives kernel throughput from it.
+	SimCyclesPerOp  float64 `json:"sim_cycles_per_op,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+
+	// Baseline carries the matching entry of the -baseline file, plus
+	// speedup ratios, when one was given.
+	Baseline *Comparison `json:"baseline,omitempty"`
+}
+
+// Comparison relates an entry to its baseline counterpart.
+type Comparison struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (>1 is faster).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is current allocs/op divided by baseline (<1 is leaner).
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Entries     []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	baseline := flag.String("baseline", "", "previous benchjson report to compare against")
+	flag.Parse()
+
+	entries, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *baseline != "" {
+		if err := compare(entries, *baseline); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Entries:     entries,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark lines, keeping the lowest-ns/op run per name.
+func parse(r *os.File) ([]Entry, error) {
+	best := map[string]Entry{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo raw output; stdout stays JSON
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix from the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: name, Iters: iters}
+		// The remainder alternates "value unit".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "sim-cycles/op":
+				e.SimCyclesPerOp = v
+			}
+		}
+		if e.NsPerOp > 0 && e.SimCyclesPerOp > 0 {
+			e.SimCyclesPerSec = e.SimCyclesPerOp / e.NsPerOp * 1e9
+		}
+		if prev, ok := best[name]; !ok {
+			best[name] = e
+			order = append(order, name)
+		} else if e.NsPerOp < prev.NsPerOp {
+			best[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		out = append(out, best[name])
+	}
+	return out, nil
+}
+
+// compare annotates entries with ratios against a previous report.
+func compare(entries []Entry, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prev Report
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range prev.Entries {
+		byName[e.Name] = e
+	}
+	for i := range entries {
+		b, ok := byName[entries[i].Name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		c := &Comparison{NsPerOp: b.NsPerOp, AllocsPerOp: b.AllocsPerOp}
+		c.Speedup = b.NsPerOp / entries[i].NsPerOp
+		if b.AllocsPerOp > 0 {
+			c.AllocRatio = entries[i].AllocsPerOp / b.AllocsPerOp
+		}
+		entries[i].Baseline = c
+	}
+	return nil
+}

@@ -53,27 +53,37 @@ func ExampleProc_ReadUpdate() {
 }
 
 // ExampleSemaphore demonstrates the P/V operations over a colocated
-// counting semaphore.
+// counting semaphore. Concurrency is measured as overlap of the holders'
+// simulated-time intervals.
 func ExampleSemaphore() {
 	m := ssmp.NewMachine(ssmp.DefaultConfig(4))
 	sem := ssmp.NewCBLSemaphore(400) // count colocated with its lock block
 	m.WriteMemory(400, 2)            // two permits
-	held, maxHeld := 0, 0
+	var spans [][2]ssmp.Time
 	progs := make([]ssmp.Program, 4)
 	for i := range progs {
 		progs[i] = func(p *ssmp.Proc) {
 			sem.P(p)
-			held++
-			if held > maxHeld {
-				maxHeld = held
-			}
+			start := p.Now()
 			p.Think(20)
-			held--
+			spans = append(spans, [2]ssmp.Time{start, p.Now()})
 			sem.V(p)
 		}
 	}
 	if _, err := m.Run(progs); err != nil {
 		panic(err)
+	}
+	maxHeld := 0
+	for _, a := range spans {
+		n := 0
+		for _, b := range spans {
+			if a[0] < b[1] && b[0] < a[1] {
+				n++
+			}
+		}
+		if n > maxHeld {
+			maxHeld = n
+		}
 	}
 	fmt.Println("max concurrent holders:", maxHeld)
 	// Output: max concurrent holders: 2

@@ -86,9 +86,12 @@ func New(geom mem.Geometry, sets, ways int) *Cache {
 		panic(fmt.Sprintf("cache: ways must be >= 1, got %d", ways))
 	}
 	c := &Cache{geom: geom, sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+	// One backing array for all line data: a machine builds a cache per
+	// node, and per-line allocations dominate construction cost.
+	backing := make([]mem.Word, sets*ways*geom.BlockWords)
 	for i := range c.lines {
 		c.lines[i].ResetPointers()
-		c.lines[i].Data = make([]mem.Word, geom.BlockWords)
+		c.lines[i].Data = backing[i*geom.BlockWords : (i+1)*geom.BlockWords : (i+1)*geom.BlockWords]
 	}
 	return c
 }
@@ -243,9 +246,10 @@ func NewLockCache(geom mem.Geometry, entries int) *LockCache {
 		panic(fmt.Sprintf("cache: lock cache entries must be >= 1, got %d", entries))
 	}
 	lc := &LockCache{geom: geom, lines: make([]Line, entries)}
+	backing := make([]mem.Word, entries*geom.BlockWords)
 	for i := range lc.lines {
 		lc.lines[i].ResetPointers()
-		lc.lines[i].Data = make([]mem.Word, geom.BlockWords)
+		lc.lines[i].Data = backing[i*geom.BlockWords : (i+1)*geom.BlockWords : (i+1)*geom.BlockWords]
 	}
 	return lc
 }

@@ -191,6 +191,8 @@ type Result struct {
 	// Cycles is the completion time: the clock when the last processor
 	// finished.
 	Cycles sim.Time
+	// Events is the number of simulation events the kernel executed.
+	Events uint64
 	// Messages is the total network message count.
 	Messages uint64
 	// MeanNetLatency and MeanNetQueueing summarize network behaviour.
@@ -294,6 +296,7 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 	}
 	res := Result{
 		Cycles:          m.eng.Now(),
+		Events:          m.eng.Fired(),
 		Messages:        m.fab.Coll.Total(),
 		MeanNetLatency:  st.MeanLatency(),
 		MeanNetQueueing: st.MeanQueueing(),

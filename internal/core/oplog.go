@@ -52,12 +52,14 @@ func (m *Machine) OnOp(fn func(OpRecord)) { m.onOp = fn }
 // beginOp reports a primitive to the observer at issue time and suppresses
 // reports from the primitives it calls internally (a cache hit's Think, an
 // unlock's flush), so a captured trace replays each top-level primitive
-// exactly once. Use as: defer p.beginOp(rec)().
+// exactly once. Use as: defer p.beginOp(rec)(). The returned func is the
+// processor's preallocated endOp, not a fresh closure: this runs on every
+// primitive issued.
 func (p *Proc) beginOp(r OpRecord) func() {
 	if p.m.onOp != nil && p.opDepth == 0 {
 		r.Proc = p.id
 		p.m.onOp(r)
 	}
 	p.opDepth++
-	return func() { p.opDepth-- }
+	return p.endOp
 }

@@ -27,6 +27,24 @@ type Proc struct {
 	err     any
 	opDepth int
 
+	// Batched stepping: purely local operations (Think, private
+	// references, lock-cache hits) do not yield to the event loop; their
+	// delays accumulate in hops (lag is the running sum) and are replayed
+	// as a chain of typed events when the program reaches an operation
+	// that touches shared state. The replay schedules exactly the events
+	// the unbatched kernel would have — same times, same insertion
+	// sequence — so results are bit-identical, but the two goroutine
+	// handshakes per local operation collapse into one per batch.
+	hops   []sim.Time
+	hopIdx int
+	lag    sim.Time
+
+	// cb0 and cbW are the controller completion callbacks, and endOp the
+	// beginOp closer, allocated once instead of once per operation.
+	cb0   func()
+	cbW   func(mem.Word)
+	endOp func()
+
 	// Ops counts primitive operations issued.
 	Ops uint64
 	// PrivHits and PrivMisses count modeled private references.
@@ -85,12 +103,70 @@ func (p *Proc) record(write, rmw bool, a mem.Addr, value, prev mem.Word, start s
 	}
 	p.m.hist.Record(history.Op{
 		Proc: p.id, Write: write, RMW: rmw, Addr: a,
-		Value: value, Prev: prev, Start: start, End: p.m.eng.Now(),
+		Value: value, Prev: prev, Start: start, End: p.now(),
 	})
 }
 
 func newProc(m *Machine, n *node) *Proc {
-	return &Proc{id: n.id, m: m, n: n, resume: make(chan mem.Word), yield: make(chan struct{})}
+	p := &Proc{id: n.id, m: m, n: n, resume: make(chan mem.Word), yield: make(chan struct{})}
+	p.cb0 = func() { p.step(0) }
+	p.cbW = func(w mem.Word) { p.step(w) }
+	p.endOp = func() { p.opDepth-- }
+	return p
+}
+
+// now returns the processor's logical time: the engine clock plus any local
+// cycles not yet replayed into it.
+func (p *Proc) now() sim.Time { return p.m.eng.Now() + p.lag }
+
+// maxBatch bounds how many local delays accumulate before a forced replay.
+// Without the bound a program that never touches shared state (for example
+// one spinning in Think) would starve the event loop, making the horizon and
+// run-context interrupts unreachable. The forced sync schedules the same
+// events at the same instants a single larger batch would, so the bound has
+// no observable effect on results.
+const maxBatch = 1024
+
+// local charges c cycles of purely local time: no yield, no event — the
+// delay is replayed on the next sync.
+func (p *Proc) local(c sim.Time) {
+	p.hops = append(p.hops, c)
+	p.lag += c
+	p.stats.Busy += c
+	if len(p.hops) >= maxBatch {
+		p.sync()
+	}
+}
+
+// sync replays the accumulated local delays into the engine clock and
+// returns with the clock at the processor's logical time. It must be called
+// before any interaction with shared simulation state (network, write
+// buffer, controllers). The replay is a chain of typed events — hop i
+// schedules hop i+1 when it fires — reproducing the exact (time, sequence)
+// event structure the unbatched kernel produced, which keeps runs
+// bit-identical.
+func (p *Proc) sync() {
+	if len(p.hops) == 0 {
+		return
+	}
+	p.hopIdx = 1
+	p.lag = 0
+	p.m.eng.AfterStep(p.hops[0], p, 0)
+	p.wait()
+}
+
+// OnStep implements sim.Stepper: it advances the hop-replay chain, resuming
+// the program once the last hop has fired. Called from the event loop only.
+func (p *Proc) OnStep(uint64) {
+	if p.hopIdx < len(p.hops) {
+		d := p.hops[p.hopIdx]
+		p.hopIdx++
+		p.m.eng.AfterStep(d, p, 0)
+		return
+	}
+	p.hops = p.hops[:0]
+	p.hopIdx = 0
+	p.step(0)
 }
 
 // abortSignal is the panic value used to unwind a program goroutine when
@@ -117,8 +193,11 @@ func (p *Proc) start(prog Program) {
 			return
 		}
 		prog(p)
+		// Replay any trailing local time so the completion cycle (and
+		// Result.Cycles) includes it.
+		p.sync()
 	}()
-	p.m.eng.At(0, func() { p.step(0) })
+	p.m.eng.AtStep(0, p, 0)
 }
 
 // step hands control to the program goroutine and waits for it to block on
@@ -163,20 +242,22 @@ func (p *Proc) waitAs(cat stallCat) mem.Word {
 // Id returns the processor's node id.
 func (p *Proc) Id() int { return p.id }
 
-// Now returns the current simulation time.
-func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
+// Now returns the current simulation time as seen by this processor: the
+// engine clock plus any batched local cycles not yet replayed into it.
+func (p *Proc) Now() sim.Time { return p.now() }
 
 // Machine returns the owning machine.
 func (p *Proc) Machine() *Machine { return p.m }
 
-// Think models c cycles of local computation.
+// Think models c cycles of local computation. The delay is batched: it
+// accumulates locally and is replayed into the event loop at the next
+// shared-state operation, costing no goroutine handshake of its own.
 func (p *Proc) Think(c sim.Time) {
 	if c == 0 {
 		return
 	}
 	defer p.beginOp(OpRecord{Kind: OpThink, Cycles: c})()
-	p.m.eng.After(c, func() { p.step(0) })
-	p.waitAs(catBusy)
+	p.local(c)
 }
 
 // PrivateRef models one reference to private data (the probabilistic
@@ -221,14 +302,18 @@ func (p *Proc) requireWBI(op string) {
 func (p *Proc) Read(a mem.Addr) mem.Word {
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpRead, Addr: a})()
-	start := p.m.eng.Now()
+	start := p.now()
 	if p.m.cfg.Protocol == ProtoWBI {
-		p.n.wbiN.Read(a, func(w mem.Word) { p.step(w) })
+		p.sync()
+		p.n.wbiN.Read(a, p.cbW)
 		w := p.waitAs(catMem)
 		p.record(false, false, a, w, 0, start)
 		return w
 	}
 	if p.n.cblU.Holds(a) {
+		// Lock-cache hit: the block's contents are unobservable remotely
+		// while the lock is held, so this is a purely local operation and
+		// stays in the batch.
 		w, err := p.n.cblU.ReadLocked(a)
 		if err != nil {
 			panic(err)
@@ -237,7 +322,8 @@ func (p *Proc) Read(a mem.Addr) mem.Word {
 		p.record(false, false, a, w, 0, start)
 		return w
 	}
-	p.n.rucN.Read(a, func(w mem.Word) { p.step(w) })
+	p.sync()
+	p.n.rucN.Read(a, p.cbW)
 	w := p.waitAs(catMem)
 	p.record(false, false, a, w, 0, start)
 	return w
@@ -250,9 +336,10 @@ func (p *Proc) Read(a mem.Addr) mem.Word {
 func (p *Proc) Write(a mem.Addr, w mem.Word) {
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpWrite, Addr: a, Value: w})()
-	start := p.m.eng.Now()
+	start := p.now()
 	if p.m.cfg.Protocol == ProtoWBI {
-		p.n.wbiN.Write(a, w, func() { p.step(0) })
+		p.sync()
+		p.n.wbiN.Write(a, w, p.cb0)
 		p.waitAs(catMem)
 		p.record(true, false, a, w, 0, start)
 		return
@@ -265,7 +352,8 @@ func (p *Proc) Write(a mem.Addr, w mem.Word) {
 		p.record(true, false, a, w, 0, start)
 		return
 	}
-	p.n.rucN.Write(a, w, func() { p.step(0) })
+	p.sync()
+	p.n.rucN.Write(a, w, p.cb0)
 	p.waitAs(catMem)
 	p.record(true, false, a, w, 0, start)
 }
@@ -276,14 +364,15 @@ func (p *Proc) Write(a mem.Addr, w mem.Word) {
 func (p *Proc) ReadGlobal(a mem.Addr) mem.Word {
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpReadGlobal, Addr: a})()
-	start := p.m.eng.Now()
+	start := p.now()
+	p.sync()
 	if p.m.cfg.Protocol == ProtoWBI {
-		p.n.wbiN.Read(a, func(w mem.Word) { p.step(w) })
+		p.n.wbiN.Read(a, p.cbW)
 		w := p.waitAs(catMem)
 		p.record(false, false, a, w, 0, start)
 		return w
 	}
-	p.n.rucN.ReadGlobal(a, func(w mem.Word) { p.step(w) })
+	p.n.rucN.ReadGlobal(a, p.cbW)
 	w := p.waitAs(catMem)
 	p.record(false, false, a, w, 0, start)
 	return w
@@ -298,9 +387,10 @@ func (p *Proc) ReadGlobal(a mem.Addr) mem.Word {
 func (p *Proc) WriteGlobal(a mem.Addr, w mem.Word) {
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpWriteGlobal, Addr: a, Value: w})()
-	start := p.m.eng.Now()
+	start := p.now()
 	if p.m.cfg.Protocol == ProtoWBI {
-		p.n.wbiN.Write(a, w, func() { p.step(0) })
+		p.sync()
+		p.n.wbiN.Write(a, w, p.cb0)
 		p.waitAs(catMem)
 		p.record(true, false, a, w, 0, start)
 		return
@@ -313,17 +403,18 @@ func (p *Proc) WriteGlobal(a mem.Addr, w mem.Word) {
 		p.record(true, false, a, w, 0, start)
 		return
 	}
+	p.sync()
 	b := p.m.geom.BlockOf(a)
 	wi := p.m.geom.WordIndex(a)
 	for !p.n.buf.Add(b, wi, w) {
 		// Bounded buffer full: stall until an ack frees a slot.
-		p.n.buf.OnSpace(func() { p.step(0) })
+		p.n.buf.OnSpace(p.cb0)
 		p.waitAs(catMem)
 	}
 	if p.m.cfg.Consistency == SC {
 		// Sequential consistency: stall until the memory ack.
 		if !p.n.buf.Empty() {
-			p.n.buf.OnEmpty(func() { p.step(0) })
+			p.n.buf.OnEmpty(p.cb0)
 			p.waitAs(catMem)
 		}
 		p.record(true, false, a, w, 0, start)
@@ -345,10 +436,14 @@ func (p *Proc) FlushBuffer() {
 	if p.m.cfg.Protocol == ProtoWBI {
 		return
 	}
+	// The buffer drains on its own schedule; batched local time must be
+	// replayed before observing it, or a pump completion due before the
+	// processor's logical now would be missed.
+	p.sync()
 	if p.n.buf.Empty() {
 		return
 	}
-	p.n.buf.OnEmpty(func() { p.step(0) })
+	p.n.buf.OnEmpty(p.cb0)
 	p.waitAs(catSync)
 }
 
@@ -358,7 +453,8 @@ func (p *Proc) ReadUpdate(a mem.Addr) mem.Word {
 	p.requireCBL("READ-UPDATE")
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpReadUpdate, Addr: a})()
-	p.n.rucN.ReadUpdate(a, func(w mem.Word) { p.step(w) })
+	p.sync()
+	p.n.rucN.ReadUpdate(a, p.cbW)
 	return p.waitAs(catMem)
 }
 
@@ -368,7 +464,8 @@ func (p *Proc) ResetUpdate(a mem.Addr) {
 	p.requireCBL("RESET-UPDATE")
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpResetUpdate, Addr: a})()
-	p.n.rucN.ResetUpdate(a, func() { p.step(0) })
+	p.sync()
+	p.n.rucN.ResetUpdate(a, p.cb0)
 	p.waitAs(catMem)
 }
 
@@ -380,7 +477,8 @@ func (p *Proc) lock(a mem.Addr, mode msg.LockMode) {
 		k = OpWriteLock
 	}
 	defer p.beginOp(OpRecord{Kind: k, Addr: a})()
-	if err := p.n.cblU.Lock(a, mode, func() { p.step(0) }); err != nil {
+	p.sync()
+	if err := p.n.cblU.Lock(a, mode, p.cb0); err != nil {
 		panic(fmt.Sprintf("core: processor %d %v on %d: %v", p.id, mode, a, err))
 	}
 	p.waitAs(catSync)
@@ -404,8 +502,10 @@ func (p *Proc) Unlock(a mem.Addr) {
 	p.requireCBL("UNLOCK")
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpUnlock, Addr: a})()
+	// FlushBuffer replays any batched local time, so the clock is synced
+	// here even when the buffer is already empty.
 	p.FlushBuffer()
-	if err := p.n.cblU.Unlock(a, func() { p.step(0) }); err != nil {
+	if err := p.n.cblU.Unlock(a, p.cb0); err != nil {
 		panic(fmt.Sprintf("core: processor %d unlock on %d: %v", p.id, a, err))
 	}
 	p.waitAs(catSync)
@@ -419,7 +519,7 @@ func (p *Proc) Barrier(a mem.Addr, participants int) {
 	p.Ops++
 	defer p.beginOp(OpRecord{Kind: OpBarrier, Addr: a, Participants: participants})()
 	p.FlushBuffer()
-	p.n.barU.Arrive(a, participants, func() { p.step(0) })
+	p.n.barU.Arrive(a, participants, p.cb0)
 	p.waitAs(catSync)
 }
 
@@ -432,8 +532,9 @@ func (p *Proc) RMW(a mem.Addr, op func(mem.Word) mem.Word) mem.Word {
 	// at zero (exact for fetch-and-add and test-and-set-from-free; an
 	// approximation for exotic ops, which the trace format cannot carry).
 	defer p.beginOp(OpRecord{Kind: OpRMW, Addr: a, Delta: op(0)})()
-	start := p.m.eng.Now()
-	p.n.wbiN.RMW(a, op, func(old mem.Word) { p.step(old) })
+	start := p.now()
+	p.sync()
+	p.n.wbiN.RMW(a, op, p.cbW)
 	old := p.waitAs(catSync)
 	p.record(true, true, a, op(old), old, start)
 	return old

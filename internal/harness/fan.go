@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// fan runs n independent jobs across a bounded worker pool sized by
+// o.Parallelism (GOMAXPROCS when zero) and returns the first error any job
+// reported. Job i is expected to write its result into slot i of a
+// caller-owned slice, so the assembled output is identical regardless of
+// scheduling; every simulation owns its machine, engine, and RNG, which is
+// what makes the fan safe. A panicking job stops the pool and the panic is
+// re-raised on the caller's goroutine, preserving the panic-on-failure
+// contract of the historic entry points.
+func (o Options) fan(n int, job func(i int) error) error {
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		panOnce  sync.Once
+		panicked any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							panOnce.Do(func() { panicked = r })
+							stop.Store(true)
+						}
+					}()
+					return job(i)
+				}()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}

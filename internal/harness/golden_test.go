@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ssmp/internal/workload"
+)
+
+// updateGolden regenerates testdata/golden.json from the current kernel:
+//
+//	go test ./internal/harness -run TestGoldenDigests -update-golden
+//
+// The committed digests are the determinism contract: any change to the
+// event kernel, the protocol controllers, or the workload models that
+// perturbs a single message ordering shows up here as a digest mismatch.
+// Kernel optimizations must keep every digest bit-identical.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden digest fixture")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenOptions is a reduced but representative sweep: both protocols, both
+// consistency models, both workload models, sync primitives, and enough
+// processors (16) for real network contention — small enough to run in a
+// few seconds.
+func goldenOptions() Options {
+	return Options{
+		Procs:     []int{2, 4, 8, 16},
+		Episodes:  4,
+		Tasks:     48,
+		SpawnProb: 0.2,
+		Seed:      42,
+		Params:    workload.DefaultParams(),
+	}
+}
+
+func digest(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenDigests runs every table and figure the fixture covers and returns
+// name -> SHA-256 of the serialized output.
+func goldenDigests(t *testing.T, o Options) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for n := 4; n <= 7; n++ {
+		f, err := o.FigureByNumber(n)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		out[fmt.Sprintf("figure%d", n)] = digest(f.Table() + "\n" + f.CSV())
+	}
+	util := o.UtilizationFigure(workload.MediumGrain)
+	out["utilization"] = digest(util.Table() + "\n" + util.CSV())
+	t2 := o.Table2Sim(8, 10)
+	out["table2"] = digest(FormatTable2Sim(8, 10, t2))
+	t3 := o.Table3Sim(8)
+	out["table3"] = digest(FormatTable3Sim(8, t3))
+	return out
+}
+
+// TestGoldenDigests locks the simulator's observable outputs. A mismatch
+// means a semantics change: either revert it, or — if the change is an
+// intentional model fix — regenerate with -update-golden and say why in the
+// commit.
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is a few seconds; skipped in -short")
+	}
+	got := goldenDigests(t, goldenOptions())
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading fixture (generate with -update-golden): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if got[name] == "" {
+			t.Errorf("%s: fixture entry has no generated counterpart", name)
+			continue
+		}
+		if got[name] != want[name] {
+			t.Errorf("%s: digest %s, want %s — simulator output changed", name, got[name][:16], want[name][:16])
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: generated digest missing from fixture (regenerate with -update-golden)", name)
+		}
+	}
+}
+
+// TestParallelSweepMatchesSerial pins the fan's determinism contract: the
+// same sweep assembled from a serial run (Parallelism=1, the historic order)
+// and from a maximally concurrent run must be bit-identical.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the golden sweep twice; skipped in -short")
+	}
+	serial := goldenOptions()
+	serial.Parallelism = 1
+	parallel := goldenOptions()
+	parallel.Parallelism = 8
+
+	want := goldenDigests(t, serial)
+	got := goldenDigests(t, parallel)
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: parallel digest %s, serial %s — fan is not order-independent",
+				name, got[name][:16], w[:16])
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"ssmp/internal/core"
 	"ssmp/internal/mem"
@@ -41,6 +42,12 @@ type Options struct {
 	// Params supplies Table 4 parameters; the grain is overridden per
 	// figure.
 	Params workload.Params
+	// Parallelism bounds how many simulations a sweep runs concurrently.
+	// Zero means GOMAXPROCS; 1 forces the historic serial order. Each
+	// simulation is self-contained (own engine, own RNG), so the assembled
+	// figures and tables are bit-identical at any setting — the golden
+	// digest test pins this.
+	Parallelism int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 
@@ -76,8 +83,14 @@ func DefaultOptions() Options {
 	}
 }
 
+// logMu serializes progress lines: sweep cells run concurrently and share
+// the options' writer.
+var logMu sync.Mutex
+
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
 }
@@ -168,20 +181,28 @@ func (o Options) cacheSchemesFigure(name, title string, grain int) (Figure, erro
 		{qBack, false, core.ProtoWBI, true},
 		{qCBL, false, core.ProtoCBL, false},
 	}
-	for _, n := range o.Procs {
-		for _, c := range cells {
-			var y float64
-			var err error
-			if c.sync {
-				y, err = o.runSync(n, c.proto, core.SC, grain)
-			} else {
-				y, err = o.runQueue(n, c.proto, core.SC, grain, c.backoff)
-			}
-			if err != nil {
-				return Figure{}, err
-			}
-			c.s.Add(float64(n), y)
+	// The (procs x cell) grid fans out across the worker pool; every point
+	// is an independent simulation. Results land in fixed slots and are
+	// assembled serially below, so the series are identical at any
+	// parallelism.
+	ys := make([]float64, len(o.Procs)*len(cells))
+	err := o.fan(len(ys), func(i int) error {
+		n, c := o.Procs[i/len(cells)], cells[i%len(cells)]
+		var y float64
+		var err error
+		if c.sync {
+			y, err = o.runSync(n, c.proto, core.SC, grain)
+		} else {
+			y, err = o.runQueue(n, c.proto, core.SC, grain, c.backoff)
 		}
+		ys[i] = y
+		return err
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, y := range ys {
+		cells[i%len(cells)].s.Add(float64(o.Procs[i/len(cells)]), y)
 	}
 	return Figure{
 		Name:   name,
@@ -223,17 +244,23 @@ func (o Options) figure5() (Figure, error) {
 func (o Options) consistencyFigure(name, title string, grain int) (Figure, error) {
 	sc := &metrics.Series{Name: "SC-CBL"}
 	bc := &metrics.Series{Name: "BC-CBL"}
-	for _, n := range o.Procs {
-		x := float64(n)
-		y, err := o.runQueue(n, core.ProtoCBL, core.SC, grain, false)
-		if err != nil {
-			return Figure{}, err
+	models := []core.Consistency{core.SC, core.BC}
+	ys := make([]float64, len(o.Procs)*len(models))
+	err := o.fan(len(ys), func(i int) error {
+		n, cons := o.Procs[i/len(models)], models[i%len(models)]
+		y, err := o.runQueue(n, core.ProtoCBL, cons, grain, false)
+		ys[i] = y
+		return err
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, y := range ys {
+		s := sc
+		if i%len(models) == 1 {
+			s = bc
 		}
-		sc.Add(x, y)
-		if y, err = o.runQueue(n, core.ProtoCBL, core.BC, grain, false); err != nil {
-			return Figure{}, err
-		}
-		bc.Add(x, y)
+		s.Add(float64(o.Procs[i/len(models)]), y)
 	}
 	return Figure{Name: name, Title: title, XLabel: "procs",
 		Series: []*metrics.Series{sc, bc}}, nil
@@ -283,27 +310,33 @@ func (o Options) UtilizationFigure(grain int) Figure {
 		{"Q-WBI", core.ProtoWBI, false},
 		{"Q-backoff", core.ProtoWBI, true},
 	}
+	ys := make([]float64, len(rows)*len(o.Procs))
+	o.fan(len(ys), func(i int) error {
+		rw, n := rows[i/len(o.Procs)], o.Procs[i%len(o.Procs)]
+		p := o.Params
+		p.Grain = grain
+		cfg := o.config(n, rw.proto, core.SC)
+		layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: n}, p)
+		var kit workload.SyncKit
+		if rw.proto == core.ProtoCBL {
+			kit = workload.CBLKit(layout, n)
+		} else {
+			kit = workload.WBIKit(layout, n, rw.backoff)
+		}
+		progs, _ := workload.WorkQueue(n, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
+		res, err := workload.RunContext(o.context(), cfg, progs)
+		if err != nil {
+			panic(fmt.Sprintf("harness: utilization %s p=%d: %v", rw.name, n, err))
+		}
+		ys[i] = 100 * res.MeanUtilization
+		o.logf("  util %s procs=%d: %.1f%%", rw.name, n, ys[i])
+		return nil
+	})
 	var series []*metrics.Series
-	for _, rw := range rows {
+	for ri, rw := range rows {
 		s := &metrics.Series{Name: rw.name}
-		for _, n := range o.Procs {
-			p := o.Params
-			p.Grain = grain
-			cfg := o.config(n, rw.proto, core.SC)
-			layout := workload.NewLayout(mem.Geometry{BlockWords: cfg.BlockWords, Nodes: n}, p)
-			var kit workload.SyncKit
-			if rw.proto == core.ProtoCBL {
-				kit = workload.CBLKit(layout, n)
-			} else {
-				kit = workload.WBIKit(layout, n, rw.backoff)
-			}
-			progs, _ := workload.WorkQueue(n, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
-			res, err := workload.RunContext(o.context(), cfg, progs)
-			if err != nil {
-				panic(fmt.Sprintf("harness: utilization %s p=%d: %v", rw.name, n, err))
-			}
-			s.Add(float64(n), 100*res.MeanUtilization)
-			o.logf("  util %s procs=%d: %.1f%%", rw.name, n, 100*res.MeanUtilization)
+		for ni, n := range o.Procs {
+			s.Add(float64(n), ys[ri*len(o.Procs)+ni])
 		}
 		series = append(series, s)
 	}

@@ -41,8 +41,9 @@ func (o Options) Table2Sim(procs, iters int) []Table2Measured {
 	}
 	costs := analytic.DefaultClassCosts()
 	rows := analytic.Table2(procs, 4)
-	out := make([]Table2Measured, 0, len(schemes))
-	for si, s := range schemes {
+	out := make([]Table2Measured, len(schemes))
+	o.fan(len(schemes), func(si int) error {
+		s := schemes[si]
 		cfg := core.DefaultConfig(procs)
 		if !s.readUpdate {
 			cfg.Protocol = core.ProtoWBI
@@ -55,7 +56,7 @@ func (o Options) Table2Sim(procs, iters int) []Table2Measured {
 		coll := m.Messages()
 		denom := float64(procs * iters)
 		row := rows[si]
-		out = append(out, Table2Measured{
+		out[si] = Table2Measured{
 			Scheme:   s.name,
 			Blocks:   float64(coll.Class(msg.BlockXfer)) / denom,
 			Words:    float64(coll.Class(msg.WordXfer)) / denom,
@@ -63,9 +64,10 @@ func (o Options) Table2Sim(procs, iters int) []Table2Measured {
 			Controls: float64(coll.Class(msg.Control)) / denom,
 			Analytic: row.Write.Eval(costs) + row.Read.Eval(costs),
 			Residual: ls.Verify(m),
-		})
+		}
 		o.logf("  table2 %s: %s", s.name, coll)
-	}
+		return nil
+	})
 	return out
 }
 
@@ -99,16 +101,19 @@ type Table3Measured struct {
 // episode, with per-processor and total accounting respectively).
 func (o Options) Table3Sim(procs int) []Table3Measured {
 	params := analytic.DefaultSyncParams(procs)
-	var out []Table3Measured
 
+	// measure only queues the scenario; the queued jobs fan out across the
+	// worker pool at the end, each on its own machine, and land in
+	// declaration order.
+	type job struct {
+		s      analytic.Scenario
+		scheme string
+		model  analytic.Cost
+		run    func(cfg core.Config) (uint64, uint64)
+	}
+	var jobs []job
 	measure := func(s analytic.Scenario, scheme string, model analytic.Cost, run func(cfg core.Config) (uint64, uint64)) {
-		cfg := core.DefaultConfig(procs)
-		if scheme == "WBI" {
-			cfg.Protocol = core.ProtoWBI
-		}
-		msgs, cycles := run(cfg)
-		out = append(out, Table3Measured{Scenario: s, Scheme: scheme, Messages: msgs, Cycles: cycles, Model: model})
-		o.logf("  table3 %s %s: %d msgs, %d cycles", s, scheme, msgs, cycles)
+		jobs = append(jobs, job{s, scheme, model, run})
 	}
 
 	lockAddr := mem.Addr(4 * 100)
@@ -195,6 +200,19 @@ func (o Options) Table3Sim(procs int) []Table3Measured {
 	measure(analytic.BarrierRequest, "CBL", analytic.CBL(analytic.BarrierRequest, params), reqPerProc(barrier(cblBarrier)))
 	measure(analytic.BarrierNotify, "WBI", analytic.WBI(analytic.BarrierNotify, params), barrier(wbiBarrier))
 	measure(analytic.BarrierNotify, "CBL", analytic.CBL(analytic.BarrierNotify, params), barrier(cblBarrier))
+
+	out := make([]Table3Measured, len(jobs))
+	o.fan(len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := core.DefaultConfig(procs)
+		if j.scheme == "WBI" {
+			cfg.Protocol = core.ProtoWBI
+		}
+		msgs, cycles := j.run(cfg)
+		out[i] = Table3Measured{Scenario: j.s, Scheme: j.scheme, Messages: msgs, Cycles: cycles, Model: j.model}
+		o.logf("  table3 %s %s: %d msgs, %d cycles", j.s, j.scheme, msgs, cycles)
+		return nil
+	})
 	return out
 }
 

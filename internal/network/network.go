@@ -104,6 +104,7 @@ type Network struct {
 	mesh     *mesh            // mesh topology
 	bus      *sim.Resource    // bus topology: the single shared medium
 	handlers []Handler
+	inbox    []port // per-node typed delivery endpoints
 	stats    Stats
 }
 
@@ -120,6 +121,10 @@ func New(engine *sim.Engine, cfg Config) *Network {
 		stages:   logN,
 		logN:     logN,
 		handlers: make([]Handler, cfg.Nodes),
+		inbox:    make([]port, cfg.Nodes),
+	}
+	for i := range n.inbox {
+		n.inbox[i] = port{n: n, node: i}
 	}
 	switch cfg.Topology {
 	case TopMesh:
@@ -229,12 +234,22 @@ func (n *Network) sendPath(src, dst int, now, hold sim.Time) sim.Time {
 	return t
 }
 
+// port is a per-node delivery endpoint implementing sim.Receiver, so message
+// delivery schedules a typed event instead of allocating a closure per
+// message.
+type port struct {
+	n    *Network
+	node int
+}
+
+// OnDeliver hands the payload to the node's handler.
+func (p *port) OnDeliver(payload any) { p.n.handlers[p.node](payload) }
+
 func (n *Network) deliverAt(t sim.Time, dst int, payload any) {
-	h := n.handlers[dst]
-	if h == nil {
+	if n.handlers[dst] == nil {
 		panic(fmt.Sprintf("network: no handler attached at node %d", dst))
 	}
-	n.engine.At(t, func() { h(payload) })
+	n.engine.AtDeliver(t, &n.inbox[dst], payload)
 }
 
 // UncontendedLatency returns the latency a message of the given size would

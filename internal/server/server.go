@@ -85,6 +85,18 @@ type Server struct {
 	timedOut  atomic.Uint64
 	rejected  atomic.Uint64
 
+	// Simulation-throughput observability. simEvents and simBusyNS cover
+	// executed sim jobs only (figures do not report event counts), so
+	// their quotient is the kernel's simulated-events-per-wall-second.
+	// jobAllocs is a process-wide heap-allocation (Mallocs) delta sampled
+	// around each executed job; with overlapping jobs it attributes
+	// concurrent allocations to whichever job is being sampled, so the
+	// per-job mean is approximate under load.
+	simEvents   atomic.Uint64
+	simBusyNS   atomic.Int64
+	jobAllocs   atomic.Uint64
+	jobsSampled atomic.Uint64
+
 	statsMu sync.Mutex
 	latency metrics.Histogram // wall milliseconds per executed job
 	msgs    metrics.Collector // simulated messages, aggregated over runs
@@ -288,10 +300,19 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 
 	started := time.Now()
 	res, cached, status, err := s.execute(ctx, key, func(ctx context.Context) (any, error) {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		jobStart := time.Now()
 		out, coll, err := req.SimSpec.run(ctx)
+		elapsed := time.Since(jobStart)
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			return nil, err
 		}
+		s.simEvents.Add(out.Events)
+		s.simBusyNS.Add(int64(elapsed))
+		s.jobAllocs.Add(m1.Mallocs - m0.Mallocs)
+		s.jobsSampled.Add(1)
 		s.statsMu.Lock()
 		s.msgs.Add(coll)
 		s.statsMu.Unlock()
@@ -438,6 +459,20 @@ type MetricsSnapshot struct {
 		TimedOut  uint64 `json:"timed_out"`
 		Rejected  uint64 `json:"rejected"`
 	} `json:"jobs"`
+	// Sim summarizes kernel throughput over executed sim jobs.
+	Sim struct {
+		// EventsTotal is the number of simulation events executed.
+		EventsTotal uint64 `json:"events_total"`
+		// BusyWallS is wall-clock time spent inside sim runs.
+		BusyWallS float64 `json:"busy_wall_s"`
+		// EventsPerWallSecond is the kernel's aggregate throughput.
+		EventsPerWallSecond float64 `json:"events_per_wall_second"`
+		// JobsSampled counts the executed jobs behind MeanJobAllocs.
+		JobsSampled uint64 `json:"jobs_sampled"`
+		// MeanJobAllocs is the mean process-wide heap-allocation delta
+		// per executed job (approximate when jobs overlap).
+		MeanJobAllocs float64 `json:"mean_job_allocs"`
+	} `json:"sim"`
 	// LatencyMS is the executed-job wall-time histogram
 	// (metrics.Histogram's JSON form; cache hits are not samples).
 	LatencyMS json.RawMessage `json:"latency_ms"`
@@ -459,6 +494,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Jobs.Failed = s.failed.Load()
 	snap.Jobs.TimedOut = s.timedOut.Load()
 	snap.Jobs.Rejected = s.rejected.Load()
+	snap.Sim.EventsTotal = s.simEvents.Load()
+	snap.Sim.BusyWallS = float64(s.simBusyNS.Load()) / float64(time.Second)
+	if snap.Sim.BusyWallS > 0 {
+		snap.Sim.EventsPerWallSecond = float64(snap.Sim.EventsTotal) / snap.Sim.BusyWallS
+	}
+	snap.Sim.JobsSampled = s.jobsSampled.Load()
+	if n := snap.Sim.JobsSampled; n > 0 {
+		snap.Sim.MeanJobAllocs = float64(s.jobAllocs.Load()) / float64(n)
+	}
 
 	s.statsMu.Lock()
 	lat, err := json.Marshal(&s.latency)

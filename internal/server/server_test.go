@@ -386,6 +386,19 @@ func TestMetricsAndHealthz(t *testing.T) {
 	if err := json.Unmarshal(snap.SimMessages, &msgs); err != nil || msgs.Total == 0 {
 		t.Fatalf("sim messages: %v, %s", err, snap.SimMessages)
 	}
+	// Kernel-throughput counters: one executed sim job was sampled.
+	if snap.Sim.EventsTotal == 0 {
+		t.Fatal("sim events_total = 0 after an executed job")
+	}
+	if snap.Sim.EventsPerWallSecond <= 0 {
+		t.Fatalf("events_per_wall_second = %g, want > 0", snap.Sim.EventsPerWallSecond)
+	}
+	if snap.Sim.JobsSampled != 1 {
+		t.Fatalf("jobs_sampled = %d, want 1", snap.Sim.JobsSampled)
+	}
+	if snap.Sim.MeanJobAllocs <= 0 {
+		t.Fatalf("mean_job_allocs = %g, want > 0", snap.Sim.MeanJobAllocs)
+	}
 }
 
 func TestBadRequests(t *testing.T) {

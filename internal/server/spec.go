@@ -175,7 +175,11 @@ func (s *SimSpec) config() core.Config {
 
 // SimResult is the JSON form of a completed simulation.
 type SimResult struct {
-	Cycles          uint64  `json:"cycles"`
+	Cycles uint64 `json:"cycles"`
+	// Events is the number of kernel events the simulation executed — the
+	// denominator-free measure of simulation work, independent of wall
+	// time and host load.
+	Events          uint64  `json:"events"`
 	Messages        uint64  `json:"messages"`
 	MeanNetLatency  float64 `json:"mean_net_latency"`
 	MeanNetQueueing float64 `json:"mean_net_queueing"`
@@ -212,6 +216,7 @@ func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, erro
 	}
 	return &SimResult{
 		Cycles:          uint64(res.Cycles),
+		Events:          res.Events,
 		Messages:        res.Messages,
 		MeanNetLatency:  res.MeanNetLatency,
 		MeanNetQueueing: res.MeanNetQueueing,

@@ -8,10 +8,17 @@
 // machines that interact exclusively by scheduling events. Two runs with the
 // same seed and configuration produce bit-identical results, which the test
 // suite verifies.
+//
+// The queue is built for throughput: event records live in a pooled arena
+// and are recycled through a free list, the heap itself is a slice of arena
+// indices (no per-event allocation, no interface boxing), and the two event
+// shapes that dominate a simulation — resuming a processor and delivering a
+// network message — are typed (Stepper, Receiver) so the hot path allocates
+// no closures. Cancelled entries are dropped lazily at pop time, with an
+// eager sweep once they outnumber live ones.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -24,76 +31,93 @@ type Time uint64
 const Infinity Time = math.MaxUint64
 
 // Event is a scheduled callback. Events carry no payload of their own;
-// closures capture whatever state they need.
+// closures capture whatever state they need. For the hot event shapes,
+// prefer the typed AtStep/AtDeliver, which allocate nothing.
 type Event func()
 
-// item is a heap entry. seq breaks ties so that events scheduled for the same
-// cycle fire in insertion order, keeping the simulation deterministic.
-type item struct {
-	at   Time
-	seq  uint64
-	fn   Event
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+// Stepper is the typed form of the "resume processor" event shape: the
+// kernel calls OnStep with the argument given at scheduling time instead of
+// invoking a closure.
+type Stepper interface {
+	OnStep(arg uint64)
 }
 
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Receiver is the typed form of the "deliver message" event shape: the
+// kernel calls OnDeliver with the payload given at scheduling time.
+type Receiver interface {
+	OnDeliver(payload any)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
+// eventKind discriminates the union held in a record.
+type eventKind uint8
 
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*h)
-	*h = append(*h, it)
-}
+const (
+	evFunc eventKind = iota
+	evStep
+	evDeliver
+)
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.idx = -1
-	*h = old[:n-1]
-	return it
+// record is one pooled event. Records live in the engine's arena and are
+// recycled through a free list; gen invalidates Handles to recycled slots.
+// seq breaks (at) ties so that events scheduled for the same cycle fire in
+// insertion order, keeping the simulation deterministic.
+type record struct {
+	at      Time
+	seq     uint64
+	fn      Event
+	step    Stepper
+	recv    Receiver
+	payload any
+	arg     uint64
+	gen     uint32
+	kind    eventKind
+	dead    bool
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
+type Handle struct {
+	e   *Engine
+	id  int32
+	gen uint32
+}
 
 // Cancel removes the event from the schedule. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
-// still pending.
+// still pending. The entry is dropped lazily; once dead entries outnumber
+// live ones the queue is swept eagerly.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.dead || h.it.idx < 0 {
+	if h.e == nil {
 		return false
 	}
-	h.it.dead = true
+	r := &h.e.pool[h.id]
+	if r.gen != h.gen || r.dead {
+		return false
+	}
+	r.dead = true
+	r.fn, r.step, r.recv, r.payload = nil, nil, nil, nil
+	h.e.dead++
+	h.e.maybeSweep()
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
 func (h Handle) Pending() bool {
-	return h.it != nil && !h.it.dead && h.it.idx >= 0
+	if h.e == nil {
+		return false
+	}
+	r := &h.e.pool[h.id]
+	return r.gen == h.gen && !r.dead
 }
 
 // Engine is the event loop. The zero value is not usable; call NewEngine.
 type Engine struct {
-	now       Time
-	seq       uint64
-	queue     eventHeap
+	now  Time
+	seq  uint64
+	pool []record // event arena; heap and free hold indices into it
+	heap []int32  // binary min-heap ordered by (at, seq)
+	free []int32  // recycled arena slots
+	dead int      // cancelled entries still in heap
+
 	fired     uint64
 	stopped   bool
 	limit     Time // horizon; Infinity when unset
@@ -112,16 +136,16 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still scheduled (including cancelled
-// entries not yet drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+// entries not yet swept).
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// SetHorizon establishes a hard time limit; Run returns ErrHorizon when the
-// clock would pass it. A horizon of Infinity (the default) disables the
-// limit.
+// SetHorizon establishes a hard time limit; Run and RunUntil return
+// ErrHorizon when the clock would pass it. A horizon of Infinity (the
+// default) disables the limit.
 func (e *Engine) SetHorizon(t Time) { e.limit = t }
 
-// ErrHorizon is returned by Run when the simulation horizon is exceeded,
-// which almost always indicates livelock (for example a lock that is never
+// ErrHorizon is returned when the simulation horizon is exceeded, which
+// almost always indicates livelock (for example a lock that is never
 // released).
 var ErrHorizon = errors.New("sim: horizon exceeded")
 
@@ -132,26 +156,135 @@ var ErrHorizon = errors.New("sim: horizon exceeded")
 // well under a millisecond of wall time.
 const interruptEvery = 1024
 
-// SetInterrupt installs a poll function consulted periodically during Run;
-// a non-nil return stops the loop and Run returns that error. The poll is
-// deliberately coarse (every 1024 events) so it stays off the hot path.
-// Pass nil to remove the interrupt. Interrupts do not affect determinism:
-// they can only end a run early, never reorder events.
+// SetInterrupt installs a poll function consulted periodically during Run
+// and RunUntil; a non-nil return stops the loop, which returns that error.
+// The poll is deliberately coarse (every 1024 events) so it stays off the
+// hot path. Pass nil to remove the interrupt. Interrupts do not affect
+// determinism: they can only end a run early, never reorder events.
 func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
+
+// less orders heap entries by (time, insertion sequence). The key is unique
+// per event, so the pop order is a total order independent of the heap's
+// internal arrangement.
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.pool[a], &e.pool[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	id := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(id, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = id
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && e.less(h[r], h[c]) {
+			c = r
+		}
+		if !e.less(h[c], id) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = id
+}
+
+// pop removes and returns the earliest entry's arena index.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	n := len(h) - 1
+	id := h[0]
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return id
+}
+
+// schedule allocates a record (recycling a free slot when one exists),
+// stamps it, and pushes it onto the heap. The returned pointer is valid
+// until the next arena append; callers fill the payload immediately.
+func (e *Engine) schedule(t Time, kind eventKind) (int32, *record) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.pool = append(e.pool, record{})
+		id = int32(len(e.pool) - 1)
+	}
+	r := &e.pool[id]
+	r.at, r.seq, r.kind, r.dead = t, e.seq, kind, false
+	e.seq++
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
+	return id, r
+}
+
+// release recycles a record's arena slot and invalidates its handles.
+func (e *Engine) release(id int32) {
+	r := &e.pool[id]
+	r.gen++
+	r.fn, r.step, r.recv, r.payload = nil, nil, nil, nil
+	e.free = append(e.free, id)
+}
+
+// maybeSweep eagerly drops cancelled entries once they outnumber live ones,
+// so a cancel-heavy workload cannot grow the heap without bound. The sweep
+// filters the index slice and re-heapifies; (at, seq) keys are unique, so
+// the pop order is unchanged.
+func (e *Engine) maybeSweep() {
+	if e.dead <= len(e.heap)/2 || e.dead < 64 {
+		return
+	}
+	live := e.heap[:0]
+	for _, id := range e.heap {
+		if e.pool[id].dead {
+			e.release(id)
+			continue
+		}
+		live = append(live, id)
+	}
+	e.heap = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	e.dead = 0
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, never a recoverable condition.
 func (e *Engine) At(t Time, fn Event) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	it := &item{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, it)
-	return Handle{it}
+	id, r := e.schedule(t, evFunc)
+	r.fn = fn
+	return Handle{e, id, r.gen}
 }
 
 // After schedules fn to run d cycles from now.
@@ -159,58 +292,123 @@ func (e *Engine) After(d Time, fn Event) Handle {
 	return e.At(e.now+d, fn)
 }
 
-// Stop makes Run return after the current event completes. Intended for use
-// from inside event callbacks (for example when a workload detects
-// completion).
+// AtStep schedules s.OnStep(arg) at absolute time t without allocating: the
+// typed form of the resume-processor event shape.
+func (e *Engine) AtStep(t Time, s Stepper, arg uint64) Handle {
+	if s == nil {
+		panic("sim: nil stepper")
+	}
+	id, r := e.schedule(t, evStep)
+	r.step, r.arg = s, arg
+	return Handle{e, id, r.gen}
+}
+
+// AfterStep schedules s.OnStep(arg) d cycles from now.
+func (e *Engine) AfterStep(d Time, s Stepper, arg uint64) Handle {
+	return e.AtStep(e.now+d, s, arg)
+}
+
+// AtDeliver schedules rcv.OnDeliver(payload) at absolute time t without
+// allocating a closure: the typed form of the message-delivery event shape.
+func (e *Engine) AtDeliver(t Time, rcv Receiver, payload any) Handle {
+	if rcv == nil {
+		panic("sim: nil receiver")
+	}
+	id, r := e.schedule(t, evDeliver)
+	r.recv, r.payload = rcv, payload
+	return Handle{e, id, r.gen}
+}
+
+// Stop makes Run (or RunUntil) return after the current event completes.
+// Intended for use from inside event callbacks (for example when a workload
+// detects completion).
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire executes one live event. The record is released before the callback
+// runs, so events scheduled by the callback can recycle its slot.
+func (e *Engine) fire(id int32) {
+	r := &e.pool[id]
+	kind := r.kind
+	fn, step, recv := r.fn, r.step, r.recv
+	payload, arg := r.payload, r.arg
+	e.release(id)
+	e.fired++
+	switch kind {
+	case evFunc:
+		fn()
+	case evStep:
+		step.OnStep(arg)
+	default:
+		recv.OnDeliver(payload)
+	}
+}
 
 // Run executes events until the queue drains, Stop is called, the horizon
 // is exceeded, or an installed interrupt reports an error. It returns nil
 // on a drained queue or explicit Stop.
 func (e *Engine) Run() error {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for len(e.heap) > 0 && !e.stopped {
 		if e.interrupt != nil && e.fired%interruptEvery == 0 {
 			if err := e.interrupt(); err != nil {
 				return err
 			}
 		}
-		it := heap.Pop(&e.queue).(*item)
-		if it.dead {
+		id := e.pop()
+		r := &e.pool[id]
+		if r.dead {
+			e.dead--
+			e.release(id)
 			continue
 		}
-		if it.at > e.limit {
-			e.now = it.at
+		if r.at > e.limit {
+			e.now = r.at
+			e.release(id)
 			return ErrHorizon
 		}
-		e.now = it.at
-		e.fired++
-		it.fn()
+		e.now = r.at
+		e.fire(id)
 	}
 	return nil
 }
 
 // RunUntil executes events with timestamps <= t, leaving later events queued
 // and advancing the clock to exactly t if the queue empties earlier. It
-// returns the number of events fired.
-func (e *Engine) RunUntil(t Time) uint64 {
+// returns the number of events fired. RunUntil enforces the same limits as
+// Run: it stops on Stop, returns ErrHorizon past the horizon, and polls any
+// installed interrupt.
+func (e *Engine) RunUntil(t Time) (uint64, error) {
+	e.stopped = false
 	start := e.fired
-	for len(e.queue) > 0 {
-		top := e.queue[0]
-		if top.dead {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 && !e.stopped {
+		if e.interrupt != nil && e.fired%interruptEvery == 0 {
+			if err := e.interrupt(); err != nil {
+				return e.fired - start, err
+			}
+		}
+		top := e.heap[0]
+		r := &e.pool[top]
+		if r.dead {
+			e.pop()
+			e.dead--
+			e.release(top)
 			continue
 		}
-		if top.at > t {
+		if r.at > t {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = top.at
-		e.fired++
-		top.fn()
+		if r.at > e.limit {
+			e.pop()
+			e.now = r.at
+			e.release(top)
+			return e.fired - start, ErrHorizon
+		}
+		e.pop()
+		e.now = r.at
+		e.fire(top)
 	}
-	if e.now < t {
+	if e.now < t && t != Infinity && !e.stopped {
 		e.now = t
 	}
-	return e.fired - start
+	return e.fired - start, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -161,7 +162,10 @@ func TestRunUntil(t *testing.T) {
 		at := at
 		e.At(at, func() { fired = append(fired, at) })
 	}
-	n := e.RunUntil(10)
+	n, err := e.RunUntil(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 3 {
 		t.Fatalf("RunUntil(10) fired %d, want 3", n)
 	}
@@ -176,6 +180,189 @@ func TestRunUntil(t *testing.T) {
 	e2.RunUntil(42)
 	if e2.Now() != 42 {
 		t.Fatalf("empty RunUntil: Now() = %d, want 42", e2.Now())
+	}
+}
+
+// RunUntil must enforce the same limits as Run: the horizon and the
+// interrupt poll. Regression test — it used to honor neither.
+func TestRunUntilHonorsHorizon(t *testing.T) {
+	e := NewEngine()
+	e.SetHorizon(100)
+	fired := 0
+	e.At(50, func() { fired++ })
+	e.At(101, func() { fired++ })
+	n, err := e.RunUntil(200)
+	if err != ErrHorizon {
+		t.Fatalf("RunUntil(200) err = %v, want ErrHorizon", err)
+	}
+	if n != 1 || fired != 1 {
+		t.Fatalf("fired %d/%d events, want 1 (the beyond-horizon event must not run)", n, fired)
+	}
+}
+
+func TestRunUntilHonorsInterrupt(t *testing.T) {
+	e := NewEngine()
+	stop := errors.New("stop")
+	e.SetInterrupt(func() error { return stop })
+	e.At(1, func() { t.Fatal("event fired past a failing interrupt") })
+	if _, err := e.RunUntil(10); err != stop {
+		t.Fatalf("RunUntil err = %v, want the interrupt error", err)
+	}
+}
+
+func TestRunUntilHonorsStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	if _, err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("fired %d events, want 1 (Stop should halt RunUntil)", count)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %d, want 1 (no clamp to target after Stop)", e.Now())
+	}
+}
+
+// stepRecorder implements Stepper for typed-event tests.
+type stepRecorder struct {
+	args []uint64
+	at   []Time
+	e    *Engine
+}
+
+func (s *stepRecorder) OnStep(arg uint64) {
+	s.args = append(s.args, arg)
+	s.at = append(s.at, s.e.Now())
+}
+
+// deliverRecorder implements Receiver for typed-event tests.
+type deliverRecorder struct {
+	got []any
+}
+
+func (d *deliverRecorder) OnDeliver(p any) { d.got = append(d.got, p) }
+
+func TestTypedEvents(t *testing.T) {
+	e := NewEngine()
+	s := &stepRecorder{e: e}
+	d := &deliverRecorder{}
+	e.AtStep(5, s, 7)
+	e.AfterStep(2, s, 9)
+	e.AtDeliver(3, d, "msg")
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.args) != 2 || s.args[0] != 9 || s.args[1] != 7 {
+		t.Fatalf("step args = %v, want [9 7] (time order)", s.args)
+	}
+	if s.at[0] != 2 || s.at[1] != 5 {
+		t.Fatalf("step times = %v, want [2 5]", s.at)
+	}
+	if len(d.got) != 1 || d.got[0] != "msg" {
+		t.Fatalf("delivered = %v, want [msg]", d.got)
+	}
+}
+
+// Typed events interleave with closures in strict (time, insertion) order.
+func TestTypedAndClosureEventsInterleave(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	s := &stepRecorder{e: e}
+	e.At(5, func() { order = append(order, "fn") })
+	e.AtStep(5, s, 0)
+	e.At(5, func() { order = append(order, "fn2") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.at) != 1 || len(order) != 2 {
+		t.Fatalf("typed=%d closures=%d, want 1 and 2", len(s.at), len(order))
+	}
+}
+
+// Cancelled typed events must not fire, and their handles behave like
+// closure handles.
+func TestCancelTypedEvent(t *testing.T) {
+	e := NewEngine()
+	s := &stepRecorder{e: e}
+	h := e.AtStep(5, s, 1)
+	if !h.Cancel() {
+		t.Fatal("Cancel returned false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.args) != 0 {
+		t.Fatal("cancelled typed event fired")
+	}
+}
+
+// A handle to a fired event whose arena slot was recycled must not cancel
+// the new occupant (generation check).
+func TestStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	h1 := e.At(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	e.At(2, func() { fired = true }) // recycles h1's slot
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if h1.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// The arena must actually recycle: a long chain of one-at-a-time events
+// should not grow the pool beyond a handful of records.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.pool); got > 4 {
+		t.Fatalf("arena grew to %d records for a 1-deep chain, want <= 4", got)
+	}
+}
+
+// Mass cancellation triggers the eager sweep so the heap shrinks instead of
+// carrying dead entries to the end of the run.
+func TestSweepDropsCancelledEntries(t *testing.T) {
+	e := NewEngine()
+	var handles []Handle
+	for i := 0; i < 1000; i++ {
+		handles = append(handles, e.At(Time(i+1), func() {}))
+	}
+	for _, h := range handles[:900] {
+		h.Cancel()
+	}
+	if got := e.Pending(); got > 200 {
+		t.Fatalf("Pending() = %d after cancelling 900 of 1000, want sweep to have dropped them", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("Fired() = %d, want the 100 live events", e.Fired())
 	}
 }
 

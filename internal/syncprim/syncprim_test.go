@@ -1,11 +1,53 @@
 package syncprim
 
 import (
+	"sort"
 	"testing"
 
 	"ssmp/internal/core"
 	"ssmp/internal/sim"
 )
+
+// spanSet records critical-section occupancy as intervals of simulated time.
+// The core machine batches purely local delays (Think does not yield to the
+// event loop), so host-side counters bracketing a Think cannot observe
+// concurrency between programs; overlap in simulated time is the observable
+// that matters, and it is what these primitives guarantee bounds on.
+type spanSet struct {
+	spans [][2]sim.Time
+}
+
+func (s *spanSet) add(start, end sim.Time) {
+	s.spans = append(s.spans, [2]sim.Time{start, end})
+}
+
+// maxOverlap returns the maximum number of recorded intervals covering any
+// simulated instant. Touching endpoints (one interval ending exactly where
+// another starts) do not count as overlap.
+func (s *spanSet) maxOverlap() int {
+	type edge struct {
+		t     sim.Time
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(s.spans))
+	for _, sp := range s.spans {
+		edges = append(edges, edge{sp[0], 1}, edge{sp[1], -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	cur, max := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
 
 func machine(t testing.TB, proto core.Protocol, nodes int) *core.Machine {
 	t.Helper()
@@ -15,13 +57,12 @@ func machine(t testing.TB, proto core.Protocol, nodes int) *core.Machine {
 	return core.NewMachine(cfg)
 }
 
-// exerciseLock runs n processors incrementing a Go-side counter inside the
-// critical section and checks mutual exclusion and progress.
+// exerciseLock runs n processors through timed critical sections and checks
+// mutual exclusion (no two sections overlap in simulated time) and progress.
 func exerciseLock(t *testing.T, proto core.Protocol, mk func() Locker, nodes, iters int) {
 	t.Helper()
 	m := machine(t, proto, nodes)
-	inside := 0
-	maxInside := 0
+	var held spanSet
 	total := 0
 	progs := make([]core.Program, nodes)
 	for i := 0; i < nodes; i++ {
@@ -29,13 +70,10 @@ func exerciseLock(t *testing.T, proto core.Protocol, mk func() Locker, nodes, it
 			l := mk()
 			for k := 0; k < iters; k++ {
 				l.Acquire(p)
-				inside++
-				if inside > maxInside {
-					maxInside = inside
-				}
+				start := p.Now()
 				p.Think(10) // critical section work
 				total++
-				inside--
+				held.add(start, p.Now())
 				l.Release(p)
 				p.Think(5)
 			}
@@ -44,8 +82,8 @@ func exerciseLock(t *testing.T, proto core.Protocol, mk func() Locker, nodes, it
 	if _, err := m.Run(progs); err != nil {
 		t.Fatal(err)
 	}
-	if maxInside != 1 {
-		t.Fatalf("%s: mutual exclusion violated: %d inside", mk().Name(), maxInside)
+	if n := held.maxOverlap(); n != 1 {
+		t.Fatalf("%s: mutual exclusion violated: %d concurrent holders", mk().Name(), n)
 	}
 	if total != nodes*iters {
 		t.Fatalf("%s: total = %d, want %d", mk().Name(), total, nodes*iters)
@@ -214,18 +252,15 @@ func TestSemaphoreLimitsConcurrency(t *testing.T) {
 	m := machine(t, core.ProtoCBL, 8)
 	sem := NewCBLSemaphore(100) // count colocated with the lock block
 	m.WriteMemory(100, 3)       // 3 permits
-	inside, maxInside := 0, 0
+	var held spanSet
 	progs := make([]core.Program, 8)
 	for i := 0; i < 8; i++ {
 		progs[i] = func(p *core.Proc) {
 			for k := 0; k < 4; k++ {
 				sem.P(p)
-				inside++
-				if inside > maxInside {
-					maxInside = inside
-				}
+				start := p.Now()
 				p.Think(30)
-				inside--
+				held.add(start, p.Now())
 				sem.V(p)
 			}
 		}
@@ -233,11 +268,12 @@ func TestSemaphoreLimitsConcurrency(t *testing.T) {
 	if _, err := m.Run(progs); err != nil {
 		t.Fatal(err)
 	}
-	if maxInside > 3 {
-		t.Fatalf("semaphore admitted %d concurrent holders, limit 3", maxInside)
+	n := held.maxOverlap()
+	if n > 3 {
+		t.Fatalf("semaphore admitted %d concurrent holders, limit 3", n)
 	}
-	if maxInside < 2 {
-		t.Fatalf("semaphore never reached concurrency (max %d); test too weak", maxInside)
+	if n < 2 {
+		t.Fatalf("semaphore never reached concurrency (max %d); test too weak", n)
 	}
 	if got := m.ReadMemory(100); got != 3 {
 		t.Fatalf("final permits = %d, want 3", got)
@@ -246,26 +282,23 @@ func TestSemaphoreLimitsConcurrency(t *testing.T) {
 
 func TestCBLReadLockAllowsConcurrentReaders(t *testing.T) {
 	m := machine(t, core.ProtoCBL, 8)
-	inside, maxInside := 0, 0
+	var held spanSet
 	progs := make([]core.Program, 8)
 	for i := 0; i < 8; i++ {
 		progs[i] = func(p *core.Proc) {
 			l := CBLReadLock{Addr: 100}
 			l.Acquire(p)
-			inside++
-			if inside > maxInside {
-				maxInside = inside
-			}
+			start := p.Now()
 			p.Think(100)
-			inside--
+			held.add(start, p.Now())
 			l.Release(p)
 		}
 	}
 	if _, err := m.Run(progs); err != nil {
 		t.Fatal(err)
 	}
-	if maxInside < 2 {
-		t.Fatalf("read lock admitted only %d concurrent readers", maxInside)
+	if n := held.maxOverlap(); n < 2 {
+		t.Fatalf("read lock admitted only %d concurrent readers", n)
 	}
 }
 
@@ -275,18 +308,15 @@ func TestSemaphoreBinaryIsStrict(t *testing.T) {
 	m := machine(t, core.ProtoCBL, 8)
 	sem := NewCBLSemaphore(100)
 	m.WriteMemory(100, 1)
-	inside, maxInside := 0, 0
+	var held spanSet
 	progs := make([]core.Program, 8)
 	for i := 0; i < 8; i++ {
 		progs[i] = func(p *core.Proc) {
 			for k := 0; k < 5; k++ {
 				sem.P(p)
-				inside++
-				if inside > maxInside {
-					maxInside = inside
-				}
+				start := p.Now()
 				p.Think(25)
-				inside--
+				held.add(start, p.Now())
 				sem.V(p)
 			}
 		}
@@ -294,8 +324,8 @@ func TestSemaphoreBinaryIsStrict(t *testing.T) {
 	if _, err := m.Run(progs); err != nil {
 		t.Fatal(err)
 	}
-	if maxInside != 1 {
-		t.Fatalf("binary semaphore admitted %d holders", maxInside)
+	if n := held.maxOverlap(); n != 1 {
+		t.Fatalf("binary semaphore admitted %d holders", n)
 	}
 	if got := m.ReadMemory(100); got != 1 {
 		t.Fatalf("final permits = %d, want 1", got)
@@ -307,7 +337,7 @@ func TestSemaphoreOnWBIWithSeparateBlocks(t *testing.T) {
 	m := machine(t, core.ProtoWBI, 4)
 	sem := Semaphore{CountAddr: 200, Lock: TestAndSetLock{Addr: 100}}
 	m.WriteMemory(200, 2)
-	inside, maxInside := 0, 0
+	var held spanSet
 	bar := SWBarrier{CountAddr: 300, GenAddr: 400, Participants: 4}
 	var finalPermits uint64
 	progs := make([]core.Program, 4)
@@ -316,12 +346,9 @@ func TestSemaphoreOnWBIWithSeparateBlocks(t *testing.T) {
 		progs[i] = func(p *core.Proc) {
 			for k := 0; k < 4; k++ {
 				sem.P(p)
-				inside++
-				if inside > maxInside {
-					maxInside = inside
-				}
+				start := p.Now()
 				p.Think(25)
-				inside--
+				held.add(start, p.Now())
 				sem.V(p)
 			}
 			bar.Wait(p)
@@ -335,8 +362,8 @@ func TestSemaphoreOnWBIWithSeparateBlocks(t *testing.T) {
 	if _, err := m.Run(progs); err != nil {
 		t.Fatal(err)
 	}
-	if maxInside > 2 {
-		t.Fatalf("semaphore admitted %d holders, limit 2", maxInside)
+	if n := held.maxOverlap(); n > 2 {
+		t.Fatalf("semaphore admitted %d holders, limit 2", n)
 	}
 	if finalPermits != 2 {
 		t.Fatalf("final permits = %d, want 2", finalPermits)
