@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke serve clean
+.PHONY: build test race vet bench bench-json bench-smoke litmus serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -23,16 +23,24 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Machine-readable throughput record: best of 3 runs, written to
-# results/BENCH_2.json (see cmd/benchjson).
+# results/BENCH_3.json with before-vs-after ratios against the previous
+# record, and mirrored to results/BENCH_latest.json (see cmd/benchjson).
 bench-json:
 	$(GO) test -bench=SimulatorThroughput -benchmem -benchtime=2s -count=3 -run=^$$ . \
-		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -out results/BENCH_2.json
-	@cat results/BENCH_2.json
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -baseline=results/BENCH_2.json \
+			-out results/BENCH_3.json -latest results/BENCH_latest.json
+	@cat results/BENCH_3.json
 
 # One-iteration benchmark smoke: proves the bench path builds and runs; used
 # by CI, where timing numbers would be noise anyway.
 bench-smoke:
 	$(GO) test -bench=SimulatorThroughput -benchtime=1x -run=^$$ .
+
+# Litmus cross-validation: the embedded corpus under the race detector,
+# then a bounded fuzz of random programs against the axiomatic model.
+litmus:
+	$(GO) test -race -run 'TestCorpus|TestFuzz|TestShrink' ./internal/litmus/
+	$(GO) run ./cmd/ssmplitmus fuzz -budget 30s
 
 serve: build
 	$(GO) run ./cmd/ssmpd -addr :8080

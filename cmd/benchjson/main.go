@@ -8,7 +8,9 @@
 // When a benchmark appears multiple times (-count), the run with the lowest
 // ns/op wins: minimum wall time is the least noisy estimator on a shared
 // machine. A -baseline file (a previous benchjson output) embeds
-// before-vs-after ratios next to the new numbers.
+// before-vs-after ratios next to the new numbers. -latest mirrors the
+// report to a stable path (results/BENCH_latest.json) so scripts can read
+// the newest record without knowing the PR numbering.
 package main
 
 import (
@@ -65,6 +67,7 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson report to compare against")
+	latest := flag.String("latest", "", "stable path to mirror the report to (e.g. results/BENCH_latest.json)")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin)
@@ -94,14 +97,21 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+	} else if err := writeFile(*out, enc); err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
+	if *latest != "" {
+		if err := writeFile(*latest, enc); err != nil {
+			fatal(err)
+		}
 	}
+}
+
+func writeFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

@@ -1,0 +1,219 @@
+// Command ssmplitmus runs litmus tests against the machine's buffered
+// consistency model: each test is enumerated axiomatically
+// (internal/bccheck) and swept through the operational simulator under
+// schedule jitter, and every observed outcome must be axiomatically
+// allowed.
+//
+// Usage:
+//
+//	ssmplitmus list
+//	ssmplitmus run [-seeds 64] [-v] [name ...]
+//	ssmplitmus show name
+//	ssmplitmus explain [-seeds 64] name outcome
+//	ssmplitmus fuzz [-budget 30s | -n 100] [-rng 1] [-seeds 16]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssmp/internal/litmus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ssmplitmus: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssmplitmus: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ssmplitmus list                              list the embedded corpus
+  ssmplitmus run [-seeds N] [-v] [name ...]    cross-validate tests (default: all)
+  ssmplitmus show name                         print a corpus test's JSON
+  ssmplitmus explain [-seeds N] name outcome   show the execution graph of a run producing outcome
+  ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N]
+                                               fuzz random programs against the model`)
+	os.Exit(2)
+}
+
+func cmdList() error {
+	tests, err := litmus.Corpus()
+	if err != nil {
+		return err
+	}
+	for _, t := range tests {
+		fmt.Printf("%-14s %d procs  %s\n", t.Name, len(t.Procs), t.Doc)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seeds := fs.Int("seeds", 64, "jitter seeds to sweep per test")
+	verbose := fs.Bool("v", false, "print each test's allowed and observed outcomes")
+	_ = fs.Parse(args)
+
+	var tests []*litmus.Test
+	if fs.NArg() == 0 {
+		var err error
+		if tests, err = litmus.Corpus(); err != nil {
+			return err
+		}
+	} else {
+		for _, name := range fs.Args() {
+			t, err := litmus.Load(name)
+			if err != nil {
+				return err
+			}
+			tests = append(tests, t)
+		}
+	}
+
+	failures := 0
+	for _, t := range tests {
+		rep, err := litmus.Run(t, litmus.Seeds(*seeds))
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.Name, err)
+		}
+		fmt.Println(rep.Summary())
+		if *verbose {
+			for _, a := range rep.Allowed {
+				mark := " "
+				if _, ok := rep.Observed[a]; ok {
+					mark = "*"
+				}
+				fmt.Printf("  %s allowed %q\n", mark, a)
+			}
+		}
+		if !rep.Ok() {
+			failures++
+			for _, v := range rep.Violations {
+				msg, err := litmus.ExplainViolation(t, rep, v)
+				if err != nil {
+					return err
+				}
+				fmt.Print(msg)
+			}
+			for _, f := range rep.AssertFailures {
+				fmt.Printf("  assert: %s\n", f)
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d tests failed", failures, len(tests))
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("show takes exactly one test name")
+	}
+	t, err := litmus.Load(args[0])
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	seeds := fs.Int("seeds", 64, "jitter seeds to sweep")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("explain takes a test name and an outcome string")
+	}
+	t, err := litmus.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := litmus.Run(t, litmus.Seeds(*seeds))
+	if err != nil {
+		return err
+	}
+	msg, err := litmus.ExplainViolation(t, rep, fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("%w\nobserved outcomes:\n%s", err, observedList(rep))
+	}
+	fmt.Print(msg)
+	return nil
+}
+
+func observedList(rep *litmus.Report) string {
+	out := ""
+	for o, seeds := range rep.Observed {
+		out += fmt.Sprintf("  %q (%d seeds)\n", o, len(seeds))
+	}
+	return out
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	budget := fs.Duration("budget", 0, "wall-clock budget (overrides -n)")
+	count := fs.Int("n", 100, "candidate count when no budget is set")
+	rng := fs.Uint64("rng", 1, "generator seed")
+	seeds := fs.Int("seeds", 16, "jitter seeds per candidate")
+	_ = fs.Parse(args)
+
+	st, err := litmus.Fuzz(litmus.FuzzOptions{
+		Rng:    *rng,
+		Seeds:  litmus.Seeds(*seeds),
+		Budget: *budget,
+		Count:  *count,
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fuzz: %d candidates tested, %d skipped at the state limit, %s elapsed\n",
+		st.Tested, st.Skipped, st.Elapsed.Round(time.Millisecond))
+	if st.Failure == nil {
+		return nil
+	}
+	f := st.Failure
+	fmt.Println("\ncross-validation VIOLATION — simulator escaped the axiomatic allowed set")
+	fmt.Println("minimized reproducer:")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f.Shrunk); err != nil {
+		return err
+	}
+	for _, v := range f.ShrunkReport.Violations {
+		msg, err := litmus.ExplainViolation(f.Shrunk, f.ShrunkReport, v)
+		if err != nil {
+			return err
+		}
+		fmt.Print(msg)
+	}
+	return fmt.Errorf("fuzzing found a violation")
+}

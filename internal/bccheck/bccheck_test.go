@@ -1,0 +1,168 @@
+package bccheck
+
+import (
+	"strings"
+	"testing"
+)
+
+var x = Loc{Block: 0, Word: 0}
+var y = Loc{Block: 1, Word: 0}
+
+func enumerate(t *testing.T, prog Program, opts Options) *Result {
+	t.Helper()
+	res, err := Enumerate(prog, opts)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	return res
+}
+
+func TestStoreBufferingAllowsBothZero(t *testing.T) {
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpReadGlobal, Loc: y}},
+		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpReadGlobal, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	if !res.Has("0:r0=0 1:r0=0") {
+		t.Errorf("SB: both-zero missing from allowed set %v", res.Keys())
+	}
+	if !res.Has("0:r0=1 1:r0=1") {
+		t.Errorf("SB: both-one missing from allowed set %v", res.Keys())
+	}
+}
+
+func TestStoreBufferingWithFlushForbidsBothZero(t *testing.T) {
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpFlush}, {Op: OpReadGlobal, Loc: y}},
+		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpFlush}, {Op: OpReadGlobal, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	if res.Has("0:r0=0 1:r0=0") {
+		t.Errorf("SB+FLUSH: both-zero should be forbidden; allowed %v", res.Keys())
+	}
+}
+
+func TestStalePlainReadSurvivesFlush(t *testing.T) {
+	// Reader caches x, writer publishes with a flush; the plain re-read must
+	// still be able to (indeed, must) see the stale copy.
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 42}, {Op: OpFlush}},
+		{{Op: OpRead, Loc: x}, {Op: OpRead, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	if !res.Has("1:r0=0 1:r1=0") {
+		t.Errorf("stale plain read missing from allowed set %v", res.Keys())
+	}
+	if res.Has("1:r0=0 1:r1=42") {
+		t.Errorf("plain read got fresher without update machinery: %v", res.Keys())
+	}
+}
+
+func TestReadUpdateSeesPropagation(t *testing.T) {
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 42}, {Op: OpFlush}},
+		{{Op: OpReadUpdate, Loc: x}, {Op: OpRead, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	// Subscribe before the write performs, then the propagation lands (or
+	// not) before the plain re-read.
+	for _, want := range []string{"1:r0=0 1:r1=0", "1:r0=0 1:r1=42", "1:r0=42 1:r1=42"} {
+		if !res.Has(want) {
+			t.Errorf("READ-UPDATE: %q missing from allowed set %v", want, res.Keys())
+		}
+	}
+	if res.Has("1:r0=42 1:r1=0") {
+		t.Errorf("READ-UPDATE: copy regressed: %v", res.Keys())
+	}
+}
+
+func TestLockCarriedData(t *testing.T) {
+	l := Loc{Block: 2, Word: 0}
+	prog := Program{
+		{{Op: OpWriteLock, Loc: l}, {Op: OpWrite, Loc: l, Val: 42}, {Op: OpUnlock, Loc: l}},
+		{{Op: OpWriteLock, Loc: l}, {Op: OpRead, Loc: l}, {Op: OpUnlock, Loc: l}},
+	}
+	res := enumerate(t, prog, Options{Observe: []Loc{l}})
+	if !res.Has("1:r0=0 m0=42") || !res.Has("1:r0=42 m0=42") {
+		t.Errorf("lock-carried data: want {0,42} with final mem 42, got %v", res.Keys())
+	}
+	if len(res.Outcomes) != 2 {
+		t.Errorf("lock-carried data: want exactly 2 outcomes, got %v", res.Keys())
+	}
+}
+
+func TestBarrierPublishes(t *testing.T) {
+	b := Loc{Block: 9}
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpBarrier, Loc: b}},
+		{{Op: OpBarrier, Loc: b}, {Op: OpReadGlobal, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	if len(res.Outcomes) != 1 || !res.Has("1:r0=1") {
+		t.Errorf("barrier publication: want exactly {1}, got %v", res.Keys())
+	}
+}
+
+func TestWitnessRecorded(t *testing.T) {
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpReadGlobal, Loc: y}},
+		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpReadGlobal, Loc: x}},
+	}
+	res := enumerate(t, prog, Options{})
+	for _, o := range res.Outcomes {
+		if len(o.Witness) == 0 {
+			t.Fatalf("outcome %q has no witness", o.Key())
+		}
+	}
+}
+
+func TestValidateRejectsIllFormed(t *testing.T) {
+	l := Loc{Block: 2}
+	cases := map[string]Program{
+		"unbalanced lock": {{{Op: OpWriteLock, Loc: l}}},
+		"unlock not held": {{{Op: OpUnlock, Loc: l}}},
+		"write under read lock": {{
+			{Op: OpReadLock, Loc: l}, {Op: OpWrite, Loc: l, Val: 1}, {Op: OpUnlock, Loc: l},
+		}},
+		"nested locks": {{
+			{Op: OpWriteLock, Loc: l}, {Op: OpWriteLock, Loc: x}, {Op: OpUnlock, Loc: x}, {Op: OpUnlock, Loc: l},
+		}},
+		"barrier mismatch": {
+			{{Op: OpBarrier, Loc: Loc{Block: 9}}},
+			{{Op: OpRead, Loc: x}},
+		},
+		"barrier under lock": {{
+			{Op: OpWriteLock, Loc: l}, {Op: OpBarrier, Loc: Loc{Block: 9}}, {Op: OpUnlock, Loc: l},
+		}},
+	}
+	for name, prog := range cases {
+		if err := Validate(prog, Options{}); err == nil {
+			t.Errorf("%s: Validate accepted an ill-formed program", name)
+		}
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	prog := Program{
+		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpReadGlobal, Loc: y}},
+		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpReadGlobal, Loc: x}},
+	}
+	if _, err := Enumerate(prog, Options{MaxStates: 3}); err != ErrStateLimit {
+		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := &Graph{Events: []GEvent{
+		{Proc: 0, Op: OpWriteGlobal, Loc: x, Value: 1, Start: 5, End: 9},
+		{Proc: 1, Op: OpRead, Loc: x, Value: 1, Start: 20, End: 21},
+		{Proc: 1, Op: OpRead, Loc: y, Value: 0, Start: 22, End: 23},
+	}}
+	s := g.String()
+	if !strings.Contains(s, "WRITE-GLOBAL") || !strings.Contains(s, "rf: P0 WRITE-GLOBAL @5") {
+		t.Errorf("graph rendering missing rf annotation:\n%s", s)
+	}
+	if !strings.Contains(s, "rf: initial value") {
+		t.Errorf("graph rendering missing initial-value rf:\n%s", s)
+	}
+}

@@ -1,0 +1,125 @@
+package bccheck
+
+// Execution graphs: the event-set view of one concrete run, used to render
+// a violating execution for humans and to give internal/history's recorder
+// and this package a shared event vocabulary.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GEvent is one event of a recorded execution. Start/End are the simulation
+// times the operation was issued and completed; Pending marks an operation
+// that never completed (End would be sim.Infinity).
+type GEvent struct {
+	Proc    int
+	Op      Op
+	Loc     Loc
+	Value   uint64 // value read or written
+	Prev    uint64 // for RMW-style events: the value read
+	RMW     bool
+	Start   uint64
+	End     uint64
+	Pending bool
+}
+
+// Graph is a set of events ordered per processor by Start (program order).
+type Graph struct {
+	Events []GEvent
+	// Names renders locations (defaults to "b<B>w<W>").
+	Names func(Loc) string
+}
+
+// name renders a location.
+func (g *Graph) name(l Loc) string {
+	if g.Names != nil {
+		return g.Names(l)
+	}
+	return fmt.Sprintf("b%dw%d", l.Block, l.Word)
+}
+
+// RF infers reads-from: for each read event, the index of a write event to
+// the same location with the same value whose Start is latest but not after
+// the read's End — or -1 when the read can only have seen the initial
+// value, and -2 for non-read events. When several writes carry the value
+// the choice is a heuristic; the graph stays useful for explanation even if
+// the true run linked another equal-valued write.
+func (g *Graph) RF() []int {
+	rf := make([]int, len(g.Events))
+	for i := range rf {
+		rf[i] = -2
+	}
+	for i, e := range g.Events {
+		reads := e.Op.Reads() || e.RMW
+		if !reads {
+			continue
+		}
+		want := e.Value
+		if e.RMW {
+			want = e.Prev
+		}
+		rf[i] = -1
+		bestStart := uint64(0)
+		for j, w := range g.Events {
+			if j == i || w.Loc != e.Loc {
+				continue
+			}
+			writes := w.Op == OpWrite || w.Op == OpWriteGlobal || w.RMW
+			if !writes || w.Value != want {
+				continue
+			}
+			if !e.Pending && w.Start > e.End {
+				continue
+			}
+			if rf[i] == -1 || w.Start >= bestStart {
+				rf[i] = j
+				bestStart = w.Start
+			}
+		}
+	}
+	return rf
+}
+
+// String renders the graph as one line per event, sorted by Start with
+// program order preserved, with reads-from annotations.
+func (g *Graph) String() string {
+	idx := make([]int, len(g.Events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := g.Events[idx[a]], g.Events[idx[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return ea.Proc < eb.Proc
+	})
+	rf := g.RF()
+	var b strings.Builder
+	for _, i := range idx {
+		e := g.Events[i]
+		end := fmt.Sprint(e.End)
+		if e.Pending {
+			end = "∞"
+		}
+		fmt.Fprintf(&b, "[%3d..%4s] P%d %v %s", e.Start, end, e.Proc, e.Op, g.name(e.Loc))
+		if e.RMW {
+			fmt.Fprintf(&b, " read %d wrote %d", e.Prev, e.Value)
+		} else if e.Op.Reads() {
+			fmt.Fprintf(&b, " = %d", e.Value)
+		} else if e.Op == OpWrite || e.Op == OpWriteGlobal {
+			fmt.Fprintf(&b, " := %d", e.Value)
+		}
+		switch {
+		case rf[i] == -1:
+			b.WriteString("   (rf: initial value)")
+		case rf[i] >= 0:
+			w := g.Events[rf[i]]
+			fmt.Fprintf(&b, "   (rf: P%d %v @%d)", w.Proc, w.Op, w.Start)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,820 @@
+package bccheck
+
+// The abstract BC machine. State is tiny (a handful of words per litmus
+// program), so exploration clones eagerly and memoizes on an encoded key.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const defaultMaxStates = 2_000_000
+
+// compiled is a validated program with its location layout resolved: blocks
+// are renumbered densely, each block's referenced words become a dense
+// word-index list, and every data word gets a global index into the flat
+// memory image.
+type compiled struct {
+	prog    [][]cinstr
+	nproc   int
+	blocks  []blockInfo
+	nwords  int
+	observe []int // global word indices
+	init    []uint64
+	nbar    int
+	barName []int // compiled barrier index -> user barrier id
+	max     int
+	locName func(Loc) string
+}
+
+type blockInfo struct {
+	id    int   // user block id
+	words []int // user word ids, sorted
+	base  int   // global index of words[0]
+}
+
+type cinstr struct {
+	op  Op
+	blk int // compiled block index; for OpBarrier, compiled barrier index
+	wi  int // word index within block
+	wrd int // global word index
+	val uint64
+	loc Loc // original, for labels
+}
+
+// compile lays out locations, lowers instructions, and validates.
+func compile(prog Program, opts Options) (*compiled, error) {
+	if len(prog) < 1 || len(prog) > 8 {
+		return nil, fmt.Errorf("bccheck: need 1-8 processors, got %d", len(prog))
+	}
+	words := map[int]map[int]bool{} // block -> word set
+	bars := map[int]bool{}
+	note := func(l Loc) {
+		if words[l.Block] == nil {
+			words[l.Block] = map[int]bool{}
+		}
+		words[l.Block][l.Word] = true
+	}
+	for p, instrs := range prog {
+		if len(instrs) > 64 {
+			return nil, fmt.Errorf("bccheck: P%d has %d instructions (max 64)", p, len(instrs))
+		}
+		for _, in := range instrs {
+			switch in.Op {
+			case OpFlush:
+			case OpBarrier:
+				bars[in.Loc.Block] = true
+			case OpRead, OpWrite, OpReadGlobal, OpWriteGlobal,
+				OpReadUpdate, OpResetUpdate, OpReadLock, OpWriteLock, OpUnlock:
+				if in.Loc.Block < 0 || in.Loc.Word < 0 {
+					return nil, fmt.Errorf("bccheck: P%d: negative location %+v", p, in.Loc)
+				}
+				note(in.Loc)
+			default:
+				return nil, fmt.Errorf("bccheck: P%d: unknown op %d", p, in.Op)
+			}
+		}
+	}
+	for _, l := range opts.Observe {
+		note(l)
+	}
+	for l := range opts.Init {
+		note(l)
+	}
+	if len(words) > 16 {
+		return nil, fmt.Errorf("bccheck: %d blocks referenced (max 16)", len(words))
+	}
+
+	c := &compiled{nproc: len(prog), max: opts.MaxStates, locName: opts.LocName}
+	if c.max <= 0 {
+		c.max = defaultMaxStates
+	}
+	if c.locName == nil {
+		c.locName = func(l Loc) string { return fmt.Sprintf("b%dw%d", l.Block, l.Word) }
+	}
+	blockIdx := map[int]int{}
+	var blockIDs []int
+	for id := range words {
+		blockIDs = append(blockIDs, id)
+	}
+	sort.Ints(blockIDs)
+	for _, id := range blockIDs {
+		var ws []int
+		for w := range words[id] {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		if len(ws) > 8 {
+			return nil, fmt.Errorf("bccheck: block %d has %d words (max 8)", id, len(ws))
+		}
+		blockIdx[id] = len(c.blocks)
+		c.blocks = append(c.blocks, blockInfo{id: id, words: ws, base: c.nwords})
+		c.nwords += len(ws)
+	}
+	wordIdx := func(l Loc) (blk, wi, wrd int) {
+		blk = blockIdx[l.Block]
+		b := &c.blocks[blk]
+		wi = sort.SearchInts(b.words, l.Word)
+		return blk, wi, b.base + wi
+	}
+
+	barIdx := map[int]int{}
+	var barIDs []int
+	for id := range bars {
+		barIDs = append(barIDs, id)
+	}
+	sort.Ints(barIDs)
+	for _, id := range barIDs {
+		barIdx[id] = len(c.barName)
+		c.barName = append(c.barName, id)
+	}
+	c.nbar = len(c.barName)
+
+	c.init = make([]uint64, c.nwords)
+	for l, v := range opts.Init {
+		_, _, wrd := wordIdx(l)
+		c.init[wrd] = v
+	}
+	for _, l := range opts.Observe {
+		_, _, wrd := wordIdx(l)
+		c.observe = append(c.observe, wrd)
+	}
+
+	// Lower and validate per processor: lock balance, no write under a read
+	// lock, each barrier joined exactly once.
+	for p, instrs := range prog {
+		held := map[int]Op{} // compiled block -> lock op
+		seen := map[int]int{}
+		var low []cinstr
+		for i, in := range instrs {
+			ci := cinstr{op: in.Op, val: in.Val, loc: in.Loc}
+			switch in.Op {
+			case OpFlush:
+			case OpBarrier:
+				ci.blk = barIdx[in.Loc.Block]
+				seen[ci.blk]++
+			default:
+				ci.blk, ci.wi, ci.wrd = wordIdx(in.Loc)
+			}
+			switch in.Op {
+			case OpReadLock, OpWriteLock:
+				if len(held) > 0 {
+					return nil, fmt.Errorf("bccheck: P%d[%d]: nested lock acquisition (can deadlock)", p, i)
+				}
+				held[ci.blk] = in.Op
+			case OpBarrier:
+				if len(held) > 0 {
+					return nil, fmt.Errorf("bccheck: P%d[%d]: barrier while holding a lock (can deadlock)", p, i)
+				}
+			case OpUnlock:
+				if _, ok := held[ci.blk]; !ok {
+					return nil, fmt.Errorf("bccheck: P%d[%d]: UNLOCK of block %d not held", p, i, in.Loc.Block)
+				}
+				delete(held, ci.blk)
+			case OpWrite, OpWriteGlobal:
+				if held[ci.blk] == OpReadLock {
+					return nil, fmt.Errorf("bccheck: P%d[%d]: %v to block %d held under READ-LOCK", p, i, in.Op, in.Loc.Block)
+				}
+			}
+			low = append(low, ci)
+		}
+		if len(held) > 0 {
+			return nil, fmt.Errorf("bccheck: P%d ends holding %d lock(s)", p, len(held))
+		}
+		for b := 0; b < c.nbar; b++ {
+			if seen[b] != 1 {
+				return nil, fmt.Errorf("bccheck: P%d joins barrier %d %d times (want exactly 1)", p, c.barName[b], seen[b])
+			}
+		}
+		c.prog = append(c.prog, low)
+	}
+	return c, nil
+}
+
+// Processor status.
+const (
+	stRun   uint8 = iota // executing; runnable if pc < len(prog)
+	stLock               // waiting for a lock grant
+	stFlush              // waiting for the write buffer to drain
+	stBar                // waiting for a barrier release
+)
+
+type line struct {
+	present bool
+	update  bool
+	vals    []uint64
+	dirty   []bool
+}
+
+type bufent struct {
+	blk, wi, wrd int
+	val          uint64
+}
+
+type lockw struct {
+	proc    int
+	write   bool
+	holding bool
+}
+
+type prop struct {
+	dst, blk int
+	vals     []uint64
+}
+
+type unsub struct {
+	proc, blk int
+}
+
+type pstate struct {
+	pc, stage int
+	status    uint8
+	regs      []uint64
+	lines     []line // data cache, per block
+	locklns   []line // lock cache, per block; present == holding
+	buf       []bufent
+}
+
+type mstate struct {
+	mem    []uint64
+	procs  []pstate
+	locks  [][]lockw // per block: FIFO grant queue
+	subs   []uint32  // per block: subscriber bitmask (home's chain)
+	props  []prop    // update propagations in flight
+	unsubs []unsub   // unsubscriptions in flight
+	bars   []uint32  // per barrier: arrived bitmask
+}
+
+func (c *compiled) initial() *mstate {
+	s := &mstate{
+		mem:   append([]uint64(nil), c.init...),
+		procs: make([]pstate, c.nproc),
+		locks: make([][]lockw, len(c.blocks)),
+		subs:  make([]uint32, len(c.blocks)),
+		bars:  make([]uint32, c.nbar),
+	}
+	for p := range s.procs {
+		s.procs[p].lines = make([]line, len(c.blocks))
+		s.procs[p].locklns = make([]line, len(c.blocks))
+	}
+	return s
+}
+
+func cloneLine(l line) line {
+	return line{
+		present: l.present,
+		update:  l.update,
+		vals:    append([]uint64(nil), l.vals...),
+		dirty:   append([]bool(nil), l.dirty...),
+	}
+}
+
+func (s *mstate) clone() *mstate {
+	n := &mstate{
+		mem:    append([]uint64(nil), s.mem...),
+		procs:  make([]pstate, len(s.procs)),
+		locks:  make([][]lockw, len(s.locks)),
+		subs:   append([]uint32(nil), s.subs...),
+		props:  make([]prop, len(s.props)),
+		unsubs: append([]unsub(nil), s.unsubs...),
+		bars:   append([]uint32(nil), s.bars...),
+	}
+	for i, q := range s.locks {
+		n.locks[i] = append([]lockw(nil), q...)
+	}
+	for i, pr := range s.props {
+		n.props[i] = prop{pr.dst, pr.blk, append([]uint64(nil), pr.vals...)}
+	}
+	for i := range s.procs {
+		p := &s.procs[i]
+		np := &n.procs[i]
+		np.pc, np.stage, np.status = p.pc, p.stage, p.status
+		np.regs = append([]uint64(nil), p.regs...)
+		np.buf = append([]bufent(nil), p.buf...)
+		np.lines = make([]line, len(p.lines))
+		np.locklns = make([]line, len(p.locklns))
+		for b := range p.lines {
+			np.lines[b] = cloneLine(p.lines[b])
+			np.locklns[b] = cloneLine(p.locklns[b])
+		}
+	}
+	return n
+}
+
+// encode serializes a state into a memoization key. Message multisets are
+// sorted so states differing only in bookkeeping order coincide.
+func (c *compiled) encode(s *mstate) string {
+	var b []byte
+	u := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	for _, v := range s.mem {
+		u(v)
+	}
+	for i := range s.procs {
+		p := &s.procs[i]
+		u(uint64(p.pc))
+		u(uint64(p.stage))
+		u(uint64(p.status))
+		u(uint64(len(p.regs)))
+		for _, v := range p.regs {
+			u(v)
+		}
+		u(uint64(len(p.buf)))
+		for _, e := range p.buf {
+			u(uint64(e.wrd))
+			u(e.val)
+		}
+		enc := func(l *line) {
+			if !l.present {
+				u(0)
+				return
+			}
+			flags := uint64(1)
+			if l.update {
+				flags |= 2
+			}
+			u(flags)
+			for i, v := range l.vals {
+				u(v)
+				if l.dirty[i] {
+					u(1)
+				} else {
+					u(0)
+				}
+			}
+		}
+		for bi := range p.lines {
+			enc(&p.lines[bi])
+			enc(&p.locklns[bi])
+		}
+	}
+	for _, q := range s.locks {
+		u(uint64(len(q)))
+		for _, w := range q {
+			u(uint64(w.proc))
+			if w.write {
+				u(1)
+			} else {
+				u(0)
+			}
+			if w.holding {
+				u(1)
+			} else {
+				u(0)
+			}
+		}
+	}
+	for _, m := range s.subs {
+		u(uint64(m))
+	}
+	for _, m := range s.bars {
+		u(uint64(m))
+	}
+	props := make([]string, len(s.props))
+	for i, pr := range s.props {
+		props[i] = fmt.Sprint(pr.dst, pr.blk, pr.vals)
+	}
+	sort.Strings(props)
+	u(uint64(len(props)))
+	for _, ps := range props {
+		b = append(b, ps...)
+	}
+	us := make([]string, len(s.unsubs))
+	for i, un := range s.unsubs {
+		us[i] = fmt.Sprint(un.proc, un.blk)
+	}
+	sort.Strings(us)
+	u(uint64(len(us)))
+	for _, s := range us {
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+type succ struct {
+	label string
+	next  *mstate
+}
+
+// installLine fills a data-cache line from memory (a read-miss fill: whole
+// block, clean, unsubscribed).
+func (c *compiled) installLine(s *mstate, p, blk int) {
+	b := &c.blocks[blk]
+	ln := &s.procs[p].lines[blk]
+	ln.present = true
+	ln.update = false
+	ln.vals = append(ln.vals[:0], s.mem[b.base:b.base+len(b.words)]...)
+	ln.dirty = make([]bool, len(b.words))
+}
+
+// refreshClean merges memory into the clean words of a present line (the
+// per-word merge of installs and update propagations).
+func (c *compiled) refreshClean(s *mstate, p, blk int) {
+	b := &c.blocks[blk]
+	ln := &s.procs[p].lines[blk]
+	for i := range b.words {
+		if !ln.dirty[i] {
+			ln.vals[i] = s.mem[b.base+i]
+		}
+	}
+}
+
+// grant installs the lock line from current memory and resumes the waiter.
+func (c *compiled) grant(s *mstate, p, blk int) {
+	b := &c.blocks[blk]
+	ll := &s.procs[p].locklns[blk]
+	ll.present = true
+	ll.vals = append(ll.vals[:0], s.mem[b.base:b.base+len(b.words)]...)
+	ll.dirty = make([]bool, len(b.words))
+	if s.procs[p].status == stLock {
+		s.procs[p].status = stRun
+		s.procs[p].pc++
+	}
+}
+
+// release merges dirty lock-line words to memory, leaves the queue, and
+// grants the next wave (a writer alone, or the run of readers at the head).
+func (c *compiled) release(s *mstate, p, blk int) {
+	b := &c.blocks[blk]
+	ll := &s.procs[p].locklns[blk]
+	for i := range b.words {
+		if ll.dirty[i] {
+			s.mem[b.base+i] = ll.vals[i]
+		}
+	}
+	*ll = line{}
+	q := s.locks[blk]
+	for i, w := range q {
+		if w.proc == p {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	s.locks[blk] = q
+	if len(q) == 0 || q[0].holding {
+		return
+	}
+	headWrite := q[0].write
+	for i := 0; i < len(q); i++ {
+		if q[i].holding || (i > 0 && (headWrite || q[i].write)) {
+			break
+		}
+		q[i].holding = true
+		c.grant(s, q[i].proc, blk)
+		if headWrite {
+			break
+		}
+	}
+}
+
+// unblockFlush resumes a processor whose buffer just drained, advancing it
+// past the flush (or into the release/arrive stage of UNLOCK/BARRIER).
+func (c *compiled) unblockFlush(s *mstate, p int) {
+	ps := &s.procs[p]
+	if ps.status != stFlush || len(ps.buf) != 0 {
+		return
+	}
+	ps.status = stRun
+	switch c.prog[p][ps.pc].op {
+	case OpFlush:
+		ps.pc++
+	case OpUnlock, OpBarrier:
+		ps.stage = 1
+	}
+}
+
+func (c *compiled) name(in cinstr) string { return c.locName(in.loc) }
+
+// procSuccs returns the successor states from processor p taking its next
+// architectural step.
+func (c *compiled) procSuccs(s *mstate, p int) []succ {
+	ps := &s.procs[p]
+	in := c.prog[p][ps.pc]
+	one := func(label string, n *mstate) []succ { return []succ{{label, n}} }
+	switch in.op {
+	case OpRead:
+		n := s.clone()
+		np := &n.procs[p]
+		var v uint64
+		src := "cache"
+		if np.locklns[in.blk].present {
+			v = np.locklns[in.blk].vals[in.wi]
+			src = "lock line"
+		} else {
+			if !np.lines[in.blk].present {
+				c.installLine(n, p, in.blk)
+				src = "miss fill"
+			}
+			v = np.lines[in.blk].vals[in.wi]
+		}
+		np.regs = append(np.regs, v)
+		np.pc++
+		return one(fmt.Sprintf("P%d: READ %s = %d (%s)", p, c.name(in), v, src), n)
+
+	case OpWrite:
+		n := s.clone()
+		np := &n.procs[p]
+		tgt := "private"
+		if np.locklns[in.blk].present {
+			np.locklns[in.blk].vals[in.wi] = in.val
+			np.locklns[in.blk].dirty[in.wi] = true
+			tgt = "lock line"
+		} else {
+			if !np.lines[in.blk].present {
+				c.installLine(n, p, in.blk)
+			}
+			np.lines[in.blk].vals[in.wi] = in.val
+			np.lines[in.blk].dirty[in.wi] = true
+		}
+		np.pc++
+		return one(fmt.Sprintf("P%d: WRITE %s = %d (%s)", p, c.name(in), in.val, tgt), n)
+
+	case OpReadGlobal:
+		n := s.clone()
+		np := &n.procs[p]
+		v := n.mem[in.wrd]
+		np.regs = append(np.regs, v)
+		np.pc++
+		return one(fmt.Sprintf("P%d: READ-GLOBAL %s = %d", p, c.name(in), v), n)
+
+	case OpWriteGlobal:
+		n := s.clone()
+		np := &n.procs[p]
+		if np.locklns[in.blk].present {
+			// Under a write lock the store goes to the lock line, not the
+			// buffer (the concrete machine's WriteLocked path).
+			np.locklns[in.blk].vals[in.wi] = in.val
+			np.locklns[in.blk].dirty[in.wi] = true
+			np.pc++
+			return one(fmt.Sprintf("P%d: WRITE-GLOBAL %s = %d (lock line)", p, c.name(in), in.val), n)
+		}
+		if np.lines[in.blk].present {
+			// Issue-time self-update of the local copy (dirty bits as-is).
+			np.lines[in.blk].vals[in.wi] = in.val
+		}
+		np.buf = append(np.buf, bufent{in.blk, in.wi, in.wrd, in.val})
+		np.pc++
+		return one(fmt.Sprintf("P%d: WRITE-GLOBAL %s = %d (buffered)", p, c.name(in), in.val), n)
+
+	case OpReadUpdate:
+		ln := &ps.lines[in.blk]
+		if ln.present && ln.update {
+			n := s.clone()
+			np := &n.procs[p]
+			v := np.lines[in.blk].vals[in.wi]
+			np.regs = append(np.regs, v)
+			np.pc++
+			return one(fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribed hit)", p, c.name(in), v), n)
+		}
+		subscribe := func(n *mstate) uint64 {
+			np := &n.procs[p]
+			n.subs[in.blk] |= 1 << uint(p)
+			if np.lines[in.blk].present {
+				c.refreshClean(n, p, in.blk)
+			} else {
+				c.installLine(n, p, in.blk)
+			}
+			np.lines[in.blk].update = true
+			v := np.lines[in.blk].vals[in.wi]
+			np.regs = append(np.regs, v)
+			np.pc++
+			return v
+		}
+		var out []succ
+		n := s.clone()
+		v := subscribe(n)
+		out = append(out, succ{fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribe)", p, c.name(in), v), n})
+		// A still-pending RESET-UPDATE may be processed before or after the
+		// re-subscription; the late ordering silently cancels it.
+		for i, un := range s.unsubs {
+			if un.proc == p && un.blk == in.blk {
+				n2 := s.clone()
+				n2.unsubs = append(n2.unsubs[:i], n2.unsubs[i+1:]...)
+				n2.subs[in.blk] &^= 1 << uint(p)
+				v2 := subscribe(n2)
+				out = append(out, succ{fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribe after pending reset)", p, c.name(in), v2), n2})
+				break
+			}
+		}
+		return out
+
+	case OpResetUpdate:
+		n := s.clone()
+		np := &n.procs[p]
+		label := fmt.Sprintf("P%d: RESET-UPDATE %s (no-op)", p, c.name(in))
+		if np.lines[in.blk].present && np.lines[in.blk].update {
+			np.lines[in.blk].update = false
+			n.unsubs = append(n.unsubs, unsub{p, in.blk})
+			label = fmt.Sprintf("P%d: RESET-UPDATE %s", p, c.name(in))
+		}
+		np.pc++
+		return one(label, n)
+
+	case OpFlush:
+		n := s.clone()
+		np := &n.procs[p]
+		if len(np.buf) == 0 {
+			np.pc++
+			return one(fmt.Sprintf("P%d: FLUSH-BUFFER (empty)", p), n)
+		}
+		np.status = stFlush
+		return one(fmt.Sprintf("P%d: FLUSH-BUFFER (stall, %d pending)", p, len(np.buf)), n)
+
+	case OpReadLock, OpWriteLock:
+		n := s.clone()
+		np := &n.procs[p]
+		write := in.op == OpWriteLock
+		q := n.locks[in.blk]
+		grantable := len(q) == 0
+		if !grantable && !write {
+			grantable = true
+			for _, w := range q {
+				if !w.holding || w.write {
+					grantable = false
+					break
+				}
+			}
+		}
+		q = append(q, lockw{proc: p, write: write, holding: grantable})
+		n.locks[in.blk] = q
+		if grantable {
+			c.grant(n, p, in.blk)
+			np.pc++ // grant() only advances stLock waiters
+			return one(fmt.Sprintf("P%d: %v %s (granted)", p, in.op, c.name(in)), n)
+		}
+		np.status = stLock
+		return one(fmt.Sprintf("P%d: %v %s (queued)", p, in.op, c.name(in)), n)
+
+	case OpUnlock:
+		n := s.clone()
+		np := &n.procs[p]
+		if ps.stage == 0 {
+			if len(np.buf) > 0 {
+				np.status = stFlush
+				return one(fmt.Sprintf("P%d: UNLOCK %s (flushing first)", p, c.name(in)), n)
+			}
+			np.stage = 1
+			return one(fmt.Sprintf("P%d: UNLOCK %s (buffer empty)", p, c.name(in)), n)
+		}
+		c.release(n, p, in.blk)
+		np.pc++
+		np.stage = 0
+		return one(fmt.Sprintf("P%d: UNLOCK %s (released)", p, c.name(in)), n)
+
+	case OpBarrier:
+		n := s.clone()
+		np := &n.procs[p]
+		if ps.stage == 0 {
+			if len(np.buf) > 0 {
+				np.status = stFlush
+				return one(fmt.Sprintf("P%d: BARRIER %d (flushing first)", p, c.barName[in.blk]), n)
+			}
+			np.stage = 1
+			return one(fmt.Sprintf("P%d: BARRIER %d (buffer empty)", p, c.barName[in.blk]), n)
+		}
+		mask := n.bars[in.blk] | 1<<uint(p)
+		if bits.OnesCount32(mask) == c.nproc {
+			for q := 0; q < c.nproc; q++ {
+				qs := &n.procs[q]
+				qs.status = stRun
+				qs.stage = 0
+				qs.pc++
+			}
+			n.bars[in.blk] = 0
+			return one(fmt.Sprintf("P%d: BARRIER %d (last arrival, release all)", p, c.barName[in.blk]), n)
+		}
+		n.bars[in.blk] = mask
+		np.status = stBar
+		return one(fmt.Sprintf("P%d: BARRIER %d (arrived, waiting)", p, c.barName[in.blk]), n)
+	}
+	panic("unreachable")
+}
+
+// successors enumerates every enabled transition: processor steps, buffered
+// writes retiring at memory, update propagations delivering, and
+// unsubscriptions taking effect.
+func (c *compiled) successors(s *mstate) []succ {
+	var out []succ
+	for p := range s.procs {
+		ps := &s.procs[p]
+		if ps.status == stRun && ps.pc < len(c.prog[p]) {
+			out = append(out, c.procSuccs(s, p)...)
+		}
+		if len(ps.buf) > 0 {
+			n := s.clone()
+			np := &n.procs[p]
+			e := np.buf[0]
+			np.buf = np.buf[1:]
+			n.mem[e.wrd] = e.val
+			b := &c.blocks[e.blk]
+			if m := n.subs[e.blk]; m != 0 {
+				snap := append([]uint64(nil), n.mem[b.base:b.base+len(b.words)]...)
+				for q := 0; q < c.nproc; q++ {
+					if m&(1<<uint(q)) != 0 {
+						n.props = append(n.props, prop{q, e.blk, snap})
+					}
+				}
+			}
+			c.unblockFlush(n, p)
+			out = append(out, succ{fmt.Sprintf("P%d's WRITE-GLOBAL %s = %d performs at memory", p, c.locName(Loc{b.id, b.words[e.wi]}), e.val), n})
+		}
+	}
+	for i := range s.props {
+		n := s.clone()
+		pr := n.props[i]
+		n.props = append(n.props[:i], n.props[i+1:]...)
+		ln := &n.procs[pr.dst].lines[pr.blk]
+		applied := "dropped, no copy"
+		if ln.present {
+			for wi := range pr.vals {
+				if !ln.dirty[wi] {
+					ln.vals[wi] = pr.vals[wi]
+				}
+			}
+			applied = "applied"
+		}
+		out = append(out, succ{fmt.Sprintf("update for block %d reaches P%d (%s)", c.blocks[pr.blk].id, pr.dst, applied), n})
+	}
+	for i := range s.unsubs {
+		n := s.clone()
+		un := n.unsubs[i]
+		n.unsubs = append(n.unsubs[:i], n.unsubs[i+1:]...)
+		n.subs[un.blk] &^= 1 << uint(un.proc)
+		out = append(out, succ{fmt.Sprintf("P%d's RESET-UPDATE for block %d reaches home", un.proc, c.blocks[un.blk].id), n})
+	}
+	return out
+}
+
+// quiescent reports whether the machine has finished cleanly: every
+// processor past its last instruction, buffers drained, no messages in
+// flight.
+func (c *compiled) quiescent(s *mstate) bool {
+	for p := range s.procs {
+		ps := &s.procs[p]
+		if ps.status != stRun || ps.pc < len(c.prog[p]) || len(ps.buf) > 0 {
+			return false
+		}
+	}
+	return len(s.props) == 0 && len(s.unsubs) == 0
+}
+
+func (c *compiled) outcome(s *mstate) Outcome {
+	o := Outcome{Regs: make([][]uint64, c.nproc)}
+	for p := range s.procs {
+		o.Regs[p] = append([]uint64(nil), s.procs[p].regs...)
+	}
+	for _, wrd := range c.observe {
+		o.Mem = append(o.Mem, s.mem[wrd])
+	}
+	return o
+}
+
+func (c *compiled) enumerate() (*Result, error) {
+	visited := map[string]struct{}{}
+	found := map[string]*Outcome{}
+	var path []string
+	states := 0
+	var dfs func(s *mstate) error
+	dfs = func(s *mstate) error {
+		key := c.encode(s)
+		if _, ok := visited[key]; ok {
+			return nil
+		}
+		visited[key] = struct{}{}
+		if states++; states > c.max {
+			return ErrStateLimit
+		}
+		succs := c.successors(s)
+		if len(succs) == 0 {
+			if !c.quiescent(s) {
+				return fmt.Errorf("bccheck: deadlock after: %s", strings.Join(path, "; "))
+			}
+			o := c.outcome(s)
+			k := o.Key()
+			if _, ok := found[k]; !ok {
+				o.Witness = append([]string(nil), path...)
+				found[k] = &o
+			}
+			return nil
+		}
+		for _, sc := range succs {
+			path = append(path, sc.label)
+			if err := dfs(sc.next); err != nil {
+				return err
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	if err := dfs(c.initial()); err != nil {
+		return nil, err
+	}
+	res := &Result{States: states}
+	for _, o := range found {
+		res.Outcomes = append(res.Outcomes, *o)
+	}
+	sortOutcomes(res.Outcomes)
+	return res, nil
+}

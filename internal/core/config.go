@@ -112,6 +112,11 @@ type Config struct {
 	Buf wbuf.Options
 	// Horizon aborts runs that exceed this many cycles (livelock guard).
 	Horizon sim.Time
+	// Jitter seeds pseudo-random tie-breaking among same-cycle events,
+	// letting litmus sweeps explore alternative legal schedules. 0 (the
+	// default) disables it, keeping runs bit-identical to the canonical
+	// (time, insertion order) schedule. Any nonzero seed is deterministic.
+	Jitter uint64
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 4):

@@ -64,6 +64,9 @@ func NewMachine(cfg Config) *Machine {
 	}
 	eng := sim.NewEngine()
 	eng.SetHorizon(cfg.Horizon)
+	if cfg.Jitter != 0 {
+		eng.SetJitter(cfg.Jitter)
+	}
 	nw := network.New(eng, cfg.netConfig())
 	fab := fabric.New(eng, nw, cfg.Timing)
 	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}

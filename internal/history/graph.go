@@ -1,0 +1,56 @@
+package history
+
+// Bridge to the axiomatic checker: a recorded history converts into a
+// bccheck execution graph, so the linearizability checker and the
+// buffered-consistency checker share event plumbing (and a violating run
+// can be rendered the same way in both worlds).
+
+import (
+	"ssmp/internal/bccheck"
+	"ssmp/internal/sim"
+)
+
+// Graph converts the recorded history into a bccheck execution graph.
+// blockWords is the machine's block size, splitting each word address into
+// bccheck's (block, word) locations. Plain reads and writes map to
+// OpRead/OpWrite; RMWs keep their read/write halves in one event. An
+// operation whose End is sim.Infinity never completed and is marked
+// Pending.
+func (r *Recorder) Graph(blockWords int) *bccheck.Graph {
+	return GraphOps(r.ops, blockWords)
+}
+
+// GraphOps is Graph for a raw operation slice.
+func GraphOps(ops []Op, blockWords int) *bccheck.Graph {
+	if blockWords < 1 {
+		blockWords = 1
+	}
+	g := &bccheck.Graph{Events: make([]bccheck.GEvent, 0, len(ops))}
+	for _, op := range ops {
+		ev := bccheck.GEvent{
+			Proc: op.Proc,
+			Loc: bccheck.Loc{
+				Block: int(uint64(op.Addr) / uint64(blockWords)),
+				Word:  int(uint64(op.Addr) % uint64(blockWords)),
+			},
+			Value: uint64(op.Value),
+			Prev:  uint64(op.Prev),
+			RMW:   op.RMW,
+			Start: uint64(op.Start),
+			End:   uint64(op.End),
+		}
+		switch {
+		case op.RMW:
+			ev.Op = bccheck.OpWrite
+		case op.Write:
+			ev.Op = bccheck.OpWrite
+		default:
+			ev.Op = bccheck.OpRead
+		}
+		if op.End == sim.Infinity {
+			ev.Pending = true
+		}
+		g.Events = append(g.Events, ev)
+	}
+	return g
+}

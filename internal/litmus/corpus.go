@@ -1,0 +1,50 @@
+package litmus
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+)
+
+// The seed corpus ships inside the binary so the CLI, the daemon, and the
+// tests all run the same tests without a working directory.
+//
+//go:embed testdata/*.json
+var corpusFS embed.FS
+
+// Corpus returns the embedded tests, sorted by name.
+func Corpus() ([]*Test, error) {
+	entries, err := fs.ReadDir(corpusFS, "testdata")
+	if err != nil {
+		return nil, err
+	}
+	var tests []*Test
+	for _, e := range entries {
+		data, err := fs.ReadFile(corpusFS, "testdata/"+e.Name())
+		if err != nil {
+			return nil, err
+		}
+		t, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		tests = append(tests, t)
+	}
+	sort.Slice(tests, func(i, j int) bool { return tests[i].Name < tests[j].Name })
+	return tests, nil
+}
+
+// Load returns the embedded test with the given name.
+func Load(name string) (*Test, error) {
+	tests, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tests {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("litmus: no corpus test named %q", name)
+}

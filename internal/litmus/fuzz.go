@@ -1,0 +1,304 @@
+package litmus
+
+// Random litmus-test generation and shrinking. The fuzzer generates small
+// random programs over the Table 1 primitives, cross-validates each one
+// (axiomatic allowed set vs. jittered simulator sweep), and when a
+// violation appears shrinks the program to a minimal reproducer before
+// reporting it.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ssmp/internal/bccheck"
+)
+
+// FuzzOptions configures a fuzzing run.
+type FuzzOptions struct {
+	// Rng seeds the program generator (deterministic per seed).
+	Rng uint64
+	// Seeds is the jitter sweep applied to every candidate (default
+	// Seeds(16)).
+	Seeds []uint64
+	// Budget bounds the wall-clock time; when zero, Count bounds the run
+	// instead.
+	Budget time.Duration
+	// Count is the number of candidates when Budget is zero (default 100).
+	Count int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// FuzzFailure is a cross-validation violation found by the fuzzer.
+type FuzzFailure struct {
+	// Test and Report are the original failing candidate.
+	Test   *Test
+	Report *Report
+	// Shrunk and ShrunkReport are the minimized reproducer.
+	Shrunk       *Test
+	ShrunkReport *Report
+}
+
+// FuzzStats summarizes a fuzzing run.
+type FuzzStats struct {
+	// Tested counts candidates fully cross-validated.
+	Tested int
+	// Skipped counts candidates abandoned at the enumerator state limit.
+	Skipped int
+	// Elapsed is the wall-clock time spent.
+	Elapsed time.Duration
+	// Failure is the first violation found (after shrinking), nil if the
+	// run was clean.
+	Failure *FuzzFailure
+}
+
+// Fuzz runs the generator until the budget or count is exhausted, or a
+// violation is found. A violation means the simulator produced an outcome
+// the axiomatic model forbids — a soundness bug in machine or model — so
+// the run stops and returns it shrunk.
+func Fuzz(o FuzzOptions) (*FuzzStats, error) {
+	seeds := o.Seeds
+	if len(seeds) == 0 {
+		seeds = Seeds(16)
+	}
+	count := o.Count
+	if o.Budget == 0 && count == 0 {
+		count = 100
+	}
+	logf := o.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(int64(o.Rng)))
+	start := time.Now()
+	st := &FuzzStats{}
+	defer func() { st.Elapsed = time.Since(start) }()
+
+	for i := 0; ; i++ {
+		if o.Budget > 0 {
+			if time.Since(start) >= o.Budget {
+				break
+			}
+		} else if i >= count {
+			break
+		}
+		t := generate(rng, i)
+		rep, err := Run(t, seeds)
+		if err != nil {
+			if errors.Is(err, bccheck.ErrStateLimit) {
+				st.Skipped++
+				continue
+			}
+			return st, fmt.Errorf("fuzz candidate %d: %w", i, err)
+		}
+		st.Tested++
+		if st.Tested%50 == 0 {
+			logf("fuzz: %d tested, %d skipped, %s elapsed", st.Tested, st.Skipped, time.Since(start).Round(time.Millisecond))
+		}
+		if len(rep.Violations) == 0 {
+			continue
+		}
+		logf("fuzz: candidate %d VIOLATES (%d outcomes outside allowed set), shrinking", i, len(rep.Violations))
+		shrunk := shrink(t, func(c *Test) bool {
+			r, err := Run(c, seeds)
+			return err == nil && len(r.Violations) > 0
+		})
+		srep, err := Run(shrunk, seeds)
+		if err != nil {
+			return st, fmt.Errorf("fuzz: re-running shrunk candidate: %w", err)
+		}
+		st.Failure = &FuzzFailure{Test: t, Report: rep, Shrunk: shrunk, ShrunkReport: srep}
+		return st, nil
+	}
+	return st, nil
+}
+
+// Generator vocabulary: a few data locations, one lock block, one barrier.
+// Plain WRITEs are only emitted under a WRITE-LOCK — the paper's
+// programming discipline for lock-protected data — and lock sections are
+// generated as balanced blocks so every candidate passes validation.
+var fuzzLocs = []string{"x", "y", "z"}
+
+const (
+	fuzzLock = "l"
+	fuzzBar  = "b"
+)
+
+// atom is a generation unit: one statement, or a whole lock block that is
+// only ever inserted or removed atomically.
+type atom []Stmt
+
+// generate builds a random well-formed test.
+func generate(rng *rand.Rand, id int) *Test {
+	nproc := 2 + rng.Intn(3)
+	val := uint64(0)
+	nextVal := func() uint64 { val++; return val }
+	loc := func() string { return fuzzLocs[rng.Intn(len(fuzzLocs))] }
+
+	simple := func() Stmt {
+		switch rng.Intn(8) {
+		case 0, 1:
+			return Stmt{Op: "read", Loc: loc()}
+		case 2:
+			return Stmt{Op: "read-global", Loc: loc()}
+		case 3, 4:
+			return Stmt{Op: "write-global", Loc: loc(), Val: nextVal()}
+		case 5:
+			return Stmt{Op: "read-update", Loc: loc()}
+		case 6:
+			return Stmt{Op: "reset-update", Loc: loc()}
+		default:
+			return Stmt{Op: "flush"}
+		}
+	}
+	lockBlock := func() atom {
+		write := rng.Intn(2) == 0
+		op := "read-lock"
+		if write {
+			op = "write-lock"
+		}
+		blk := atom{{Op: op, Loc: fuzzLock}}
+		for n := rng.Intn(3); n > 0; n-- {
+			switch {
+			case write && rng.Intn(2) == 0:
+				blk = append(blk, Stmt{Op: "write", Loc: fuzzLock, Val: nextVal()})
+			case rng.Intn(2) == 0:
+				blk = append(blk, Stmt{Op: "read", Loc: fuzzLock})
+			default:
+				blk = append(blk, Stmt{Op: "read-global", Loc: loc()})
+			}
+		}
+		return append(blk, Stmt{Op: "unlock", Loc: fuzzLock})
+	}
+
+	procs := make([][]atom, nproc)
+	for p := range procs {
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			if rng.Intn(4) == 0 {
+				procs[p] = append(procs[p], lockBlock())
+			} else {
+				procs[p] = append(procs[p], atom{simple()})
+			}
+		}
+	}
+	// A barrier must be joined by every processor, so it is an
+	// all-or-nothing insertion at a random atom boundary in each.
+	if rng.Intn(3) == 0 {
+		for p := range procs {
+			at := rng.Intn(len(procs[p]) + 1)
+			procs[p] = append(procs[p][:at:at], append([]atom{{Stmt{Op: "barrier", Loc: fuzzBar}}}, procs[p][at:]...)...)
+		}
+	}
+
+	t := &Test{Name: fmt.Sprintf("fuzz-%d", id)}
+	for _, ats := range procs {
+		var stmts []Stmt
+		for _, a := range ats {
+			stmts = append(stmts, a...)
+		}
+		t.Procs = append(t.Procs, stmts)
+	}
+	return t
+}
+
+// shrink minimizes a failing test while the predicate keeps holding. The
+// reductions — drop a processor, drop the barrier everywhere, drop a lock
+// block, drop a single non-structural statement — each preserve
+// well-formedness, and the loop runs them to a fixpoint.
+func shrink(t *Test, failing func(*Test) bool) *Test {
+	cur := t
+	for {
+		next, ok := shrinkStep(cur, failing)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep tries every single reduction and returns the first that still
+// fails.
+func shrinkStep(t *Test, failing func(*Test) bool) (*Test, bool) {
+	// Drop a whole processor.
+	for p := range t.Procs {
+		if len(t.Procs) < 2 {
+			break
+		}
+		c := cloneTest(t)
+		c.Procs = append(c.Procs[:p:p], c.Procs[p+1:]...)
+		if failing(c) {
+			return c, true
+		}
+	}
+	// Drop the barrier from every processor at once.
+	if c := cloneTest(t); dropOps(c, "barrier") && failing(c) {
+		return c, true
+	}
+	// Drop a lock block (acquire through matching unlock).
+	for p, stmts := range t.Procs {
+		for i, s := range stmts {
+			if s.Op != "read-lock" && s.Op != "write-lock" {
+				continue
+			}
+			end := i
+			for end < len(stmts) && stmts[end].Op != "unlock" {
+				end++
+			}
+			if end == len(stmts) {
+				continue
+			}
+			c := cloneTest(t)
+			c.Procs[p] = append(c.Procs[p][:i:i], c.Procs[p][end+1:]...)
+			if failing(c) {
+				return c, true
+			}
+		}
+	}
+	// Drop one non-structural statement.
+	for p, stmts := range t.Procs {
+		for i, s := range stmts {
+			switch s.Op {
+			case "read-lock", "write-lock", "unlock", "barrier":
+				continue
+			}
+			c := cloneTest(t)
+			c.Procs[p] = append(c.Procs[p][:i:i], c.Procs[p][i+1:]...)
+			if failing(c) {
+				return c, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// dropOps removes every statement with the given op; reports whether any
+// was removed.
+func dropOps(t *Test, op string) bool {
+	dropped := false
+	for p, stmts := range t.Procs {
+		var keep []Stmt
+		for _, s := range stmts {
+			if s.Op == op {
+				dropped = true
+				continue
+			}
+			keep = append(keep, s)
+		}
+		t.Procs[p] = keep
+	}
+	return dropped
+}
+
+// cloneTest deep-copies the parts shrinking mutates.
+func cloneTest(t *Test) *Test {
+	c := *t
+	c.Procs = make([][]Stmt, len(t.Procs))
+	for p, stmts := range t.Procs {
+		c.Procs[p] = append([]Stmt(nil), stmts...)
+	}
+	c.MustAllow = nil
+	c.MustForbid = nil
+	return &c
+}

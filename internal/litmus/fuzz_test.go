@@ -1,0 +1,108 @@
+package litmus
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestGenerateWellFormed checks that every generated candidate passes
+// validation — the generator's structural discipline (balanced locks, no
+// write under read-lock, all-proc barriers) is load-bearing for the fuzz
+// loop, which treats compile errors as fatal.
+func TestGenerateWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		lt := generate(rng, i)
+		if _, err := lt.compile(); err != nil {
+			t.Fatalf("candidate %d does not compile: %v\n%+v", i, err, lt.Procs)
+		}
+	}
+}
+
+// TestFuzzSmoke cross-validates a fixed batch of candidates and expects a
+// clean run: the simulator never escapes the axiomatic allowed set.
+func TestFuzzSmoke(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 15
+	}
+	st, err := Fuzz(FuzzOptions{Rng: 1, Count: count, Seeds: Seeds(8), Log: t.Logf})
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	if st.Failure != nil {
+		msg, _ := ExplainViolation(st.Failure.Shrunk, st.Failure.ShrunkReport, st.Failure.ShrunkReport.Violations[0])
+		t.Fatalf("fuzz found a cross-validation violation:\n%s", msg)
+	}
+	if st.Tested == 0 {
+		t.Fatalf("no candidates tested (skipped %d)", st.Skipped)
+	}
+	t.Logf("fuzz: %d tested, %d skipped in %s", st.Tested, st.Skipped, st.Elapsed.Round(time.Millisecond))
+}
+
+// TestFuzzBudgetStops bounds a budgeted run's wall clock.
+func TestFuzzBudgetStops(t *testing.T) {
+	start := time.Now()
+	st, err := Fuzz(FuzzOptions{Rng: 2, Budget: 200 * time.Millisecond, Seeds: Seeds(4)})
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	if st.Failure != nil {
+		t.Fatalf("unexpected violation: %+v", st.Failure.ShrunkReport)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("budgeted fuzz ran %s", el)
+	}
+}
+
+// TestShrinkMinimizes drives the shrinker with a synthetic predicate — "a
+// read-update of x is present" — and expects everything else stripped.
+func TestShrinkMinimizes(t *testing.T) {
+	src := &Test{
+		Name: "shrinkme",
+		Procs: [][]Stmt{
+			{
+				{Op: "write-global", Loc: "y", Val: 1},
+				{Op: "read-update", Loc: "x"},
+				{Op: "flush"},
+				{Op: "write-lock", Loc: "l"},
+				{Op: "write", Loc: "l", Val: 2},
+				{Op: "unlock", Loc: "l"},
+				{Op: "barrier", Loc: "b"},
+			},
+			{
+				{Op: "read", Loc: "y"},
+				{Op: "barrier", Loc: "b"},
+			},
+		},
+	}
+	hasReadUpdate := func(c *Test) bool {
+		if _, err := c.compile(); err != nil {
+			return false
+		}
+		for _, stmts := range c.Procs {
+			for _, s := range stmts {
+				if s.Op == "read-update" && s.Loc == "x" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	got := shrink(src, hasReadUpdate)
+	total := 0
+	for _, stmts := range got.Procs {
+		total += len(stmts)
+	}
+	if len(got.Procs) != 1 || total != 1 {
+		t.Fatalf("shrink left %d procs, %d stmts: %+v", len(got.Procs), total, got.Procs)
+	}
+	if got.Procs[0][0].Op != "read-update" {
+		t.Fatalf("shrink kept the wrong statement: %+v", got.Procs[0][0])
+	}
+	// The original must be untouched.
+	if len(src.Procs) != 2 || len(src.Procs[0]) != 7 {
+		t.Fatal("shrink mutated its input")
+	}
+}

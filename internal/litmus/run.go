@@ -1,0 +1,233 @@
+package litmus
+
+// Running a test on the concrete machine, and the seed sweep that
+// cross-validates the simulator against the axiomatic model.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssmp/internal/bccheck"
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+)
+
+// addr maps a bccheck data location onto the machine's address space.
+func dataAddr(l bccheck.Loc) mem.Addr {
+	return mem.Addr(l.Block*machineBlockWords + l.Word)
+}
+
+// barAddr maps a barrier id onto an address far from any data block.
+func barAddr(id int) mem.Addr {
+	return mem.Addr((barrierBlockBase + id) * machineBlockWords)
+}
+
+// runSim executes the test once on a fresh machine with the given jitter
+// seed (0 = the canonical deterministic schedule) and returns the outcome
+// in canonical syntax. With trace set, the run records a history and the
+// returned graph renders it.
+func (c *compiled) runSim(seed uint64, trace bool) (string, *bccheck.Graph, error) {
+	nproc := len(c.prog)
+	nodes := 2
+	for nodes < nproc {
+		nodes <<= 1
+	}
+	cfg := core.DefaultConfig(nodes)
+	cfg.Jitter = seed
+	m := core.NewMachine(cfg)
+	var graph *bccheck.Graph
+	rec := m.EnableHistory()
+	for n, v := range c.t.Init {
+		m.WriteMemory(dataAddr(c.locOf[n]), mem.Word(v))
+	}
+	regs := make([][]uint64, nproc)
+	progs := make([]core.Program, nodes)
+	for p := 0; p < nproc; p++ {
+		p := p
+		progs[p] = func(pr *core.Proc) {
+			for _, in := range c.prog[p] {
+				switch in.Op {
+				case bccheck.OpRead:
+					regs[p] = append(regs[p], uint64(pr.Read(dataAddr(in.Loc))))
+				case bccheck.OpWrite:
+					pr.Write(dataAddr(in.Loc), mem.Word(in.Val))
+				case bccheck.OpReadGlobal:
+					regs[p] = append(regs[p], uint64(pr.ReadGlobal(dataAddr(in.Loc))))
+				case bccheck.OpWriteGlobal:
+					pr.WriteGlobal(dataAddr(in.Loc), mem.Word(in.Val))
+				case bccheck.OpReadUpdate:
+					regs[p] = append(regs[p], uint64(pr.ReadUpdate(dataAddr(in.Loc))))
+				case bccheck.OpResetUpdate:
+					pr.ResetUpdate(dataAddr(in.Loc))
+				case bccheck.OpFlush:
+					pr.FlushBuffer()
+				case bccheck.OpReadLock:
+					pr.ReadLock(dataAddr(in.Loc))
+				case bccheck.OpWriteLock:
+					pr.WriteLock(dataAddr(in.Loc))
+				case bccheck.OpUnlock:
+					pr.Unlock(dataAddr(in.Loc))
+				case bccheck.OpBarrier:
+					pr.Barrier(barAddr(in.Loc.Block), nproc)
+				}
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		return "", nil, fmt.Errorf("litmus %s: seed %d: %w", c.t.Name, seed, err)
+	}
+	o := bccheck.Outcome{Regs: regs}
+	for _, n := range c.t.Observe {
+		o.Mem = append(o.Mem, uint64(m.ReadMemory(dataAddr(c.locOf[n]))))
+	}
+	if trace {
+		graph = rec.Graph(machineBlockWords)
+		graph.Names = c.opts.LocName
+	}
+	return c.format(o), graph, nil
+}
+
+// RunSim executes the test once on the simulator under the given jitter
+// seed and returns the canonical outcome.
+func (t *Test) RunSim(seed uint64) (string, error) {
+	c, err := t.compile()
+	if err != nil {
+		return "", err
+	}
+	out, _, err := c.runSim(seed, false)
+	return out, err
+}
+
+// TraceSim is RunSim with history recording; the returned graph is the
+// run's execution graph (for explaining a violation).
+func (t *Test) TraceSim(seed uint64) (string, *bccheck.Graph, error) {
+	c, err := t.compile()
+	if err != nil {
+		return "", nil, err
+	}
+	return c.runSim(seed, true)
+}
+
+// Report is the result of cross-validating one test.
+type Report struct {
+	Name string `json:"name"`
+	// Allowed is the axiomatic allowed set (canonical, sorted).
+	Allowed []string `json:"allowed"`
+	// Observed maps each simulator outcome to the jitter seeds that
+	// produced it.
+	Observed map[string][]uint64 `json:"observed"`
+	// Violations are observed outcomes outside the allowed set — a
+	// soundness failure of machine or model.
+	Violations []string `json:"violations,omitempty"`
+	// AssertFailures report must_allow entries missing from the allowed
+	// set and must_forbid entries present in it.
+	AssertFailures []string `json:"assert_failures,omitempty"`
+	// Coverage is |observed ∩ allowed| / |allowed|.
+	Coverage float64 `json:"coverage"`
+	// States is the number of abstract states the enumerator visited.
+	States int `json:"states"`
+	// Seeds is how many jitter seeds were swept.
+	Seeds int `json:"seeds"`
+}
+
+// Ok reports whether the test passed: no violation and no assertion
+// failure.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && len(r.AssertFailures) == 0 }
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	status := "ok"
+	if !r.Ok() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-22s %-4s allowed %2d, observed %2d, coverage %3.0f%% (%d seeds, %d states)",
+		r.Name, status, len(r.Allowed), len(r.Observed), r.Coverage*100, r.Seeds, r.States)
+}
+
+// Seeds returns the default sweep seed list: 0 (the canonical schedule)
+// through n-1.
+func Seeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i)
+	}
+	return s
+}
+
+// Run cross-validates the test: it enumerates the axiomatic allowed set,
+// sweeps the simulator across the given jitter seeds, and checks
+// observed ⊆ allowed plus the test's own must_allow/must_forbid
+// assertions.
+func Run(t *Test, seeds []uint64) (*Report, error) {
+	c, err := t.compile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := bccheck.Enumerate(c.prog, c.opts)
+	if err != nil {
+		return nil, fmt.Errorf("litmus %s: %w", t.Name, err)
+	}
+	allowed := map[string]bool{}
+	r := &Report{Name: t.Name, Observed: map[string][]uint64{}, States: res.States, Seeds: len(seeds)}
+	for _, o := range res.Outcomes {
+		key := c.format(o)
+		allowed[key] = true
+		r.Allowed = append(r.Allowed, key)
+	}
+	sort.Strings(r.Allowed)
+
+	for _, seed := range seeds {
+		out, _, err := c.runSim(seed, false)
+		if err != nil {
+			return nil, err
+		}
+		r.Observed[out] = append(r.Observed[out], seed)
+	}
+	covered := 0
+	for out := range r.Observed {
+		if allowed[out] {
+			covered++
+		} else {
+			r.Violations = append(r.Violations, out)
+		}
+	}
+	sort.Strings(r.Violations)
+	if len(allowed) > 0 {
+		r.Coverage = float64(covered) / float64(len(allowed))
+	}
+
+	for _, s := range t.MustAllow {
+		if !allowed[s] {
+			r.AssertFailures = append(r.AssertFailures, fmt.Sprintf("must_allow %q not in allowed set", s))
+		}
+	}
+	for _, s := range t.MustForbid {
+		if allowed[s] {
+			r.AssertFailures = append(r.AssertFailures, fmt.Sprintf("must_forbid %q is in allowed set", s))
+		}
+	}
+	return r, nil
+}
+
+// ExplainViolation renders a violating run: the seed that produced the
+// outcome, its execution graph, and the allowed set it escaped.
+func ExplainViolation(t *Test, r *Report, outcome string) (string, error) {
+	seeds, ok := r.Observed[outcome]
+	if !ok || len(seeds) == 0 {
+		return "", fmt.Errorf("litmus %s: outcome %q was not observed", t.Name, outcome)
+	}
+	_, graph, err := t.TraceSim(seeds[0])
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "test %s, seed %d produced %q\n", t.Name, seeds[0], outcome)
+	fmt.Fprintf(&b, "allowed set (%d outcomes):\n", len(r.Allowed))
+	for _, a := range r.Allowed {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	b.WriteString("execution graph of the run:\n")
+	b.WriteString(graph.String())
+	return b.String(), nil
+}

@@ -1,0 +1,128 @@
+package server
+
+// The litmus endpoint: POST /v1/litmus cross-validates one litmus test
+// (embedded corpus by name, or inline) through the axiomatic enumerator
+// and a jitter-seed sweep of the simulator, reusing the daemon's cache,
+// dedup, and worker pool; GET /v1/litmus lists the corpus.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ssmp/internal/litmus"
+)
+
+// LitmusSpec is the canonical specification of a litmus job.
+type LitmusSpec struct {
+	// Name selects an embedded corpus test. Mutually exclusive with Test.
+	Name string `json:"name,omitempty"`
+	// Test is an inline test in the litmus JSON format. Normalize replaces
+	// it with the parsed test's canonical encoding so equivalent inline
+	// bodies share a cache key.
+	Test json.RawMessage `json:"test,omitempty"`
+	// Seeds is how many jitter seeds to sweep (default 64).
+	Seeds int `json:"seeds"`
+
+	parsed *litmus.Test
+}
+
+// maxLitmusSeeds caps the sweep: each seed is a whole machine run.
+const maxLitmusSeeds = 4096
+
+// Normalize applies defaults, resolves the test, and validates.
+func (s *LitmusSpec) Normalize() error {
+	if s.Seeds == 0 {
+		s.Seeds = 64
+	}
+	if s.Seeds < 1 || s.Seeds > maxLitmusSeeds {
+		return fmt.Errorf("seeds must be in [1,%d], got %d", maxLitmusSeeds, s.Seeds)
+	}
+	switch {
+	case s.Name != "" && s.Test != nil:
+		return fmt.Errorf("name and test are mutually exclusive")
+	case s.Name != "":
+		t, err := litmus.Load(s.Name)
+		if err != nil {
+			return err
+		}
+		s.parsed = t
+	case s.Test != nil:
+		t, err := litmus.Parse(s.Test)
+		if err != nil {
+			return err
+		}
+		canon, err := json.Marshal(t)
+		if err != nil {
+			return fmt.Errorf("canonicalizing test: %w", err)
+		}
+		s.parsed, s.Test = t, canon
+	default:
+		return fmt.Errorf("need a corpus test name or an inline test")
+	}
+	return nil
+}
+
+// Key returns the spec's content address. Call Normalize first.
+func (s *LitmusSpec) Key() string { return specKey("litmus", s) }
+
+// run cross-validates the test.
+func (s *LitmusSpec) run(context.Context) (*litmus.Report, error) {
+	return litmus.Run(s.parsed, litmus.Seeds(s.Seeds))
+}
+
+func (s *Server) handleLitmusPost(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		LitmusSpec
+		TimeoutMS int64 `json:"timeout_ms"`
+	}
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := req.LitmusSpec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	key := req.LitmusSpec.Key()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	started := time.Now()
+	res, cached, status, err := s.execute(ctx, key, func(ctx context.Context) (any, error) {
+		return req.LitmusSpec.run(ctx)
+	})
+	if err != nil {
+		s.jobError(w, r, status, key, err)
+		return
+	}
+	s.logf("ssmpd: litmus %s cached=%v elapsed=%s", key[:22], cached, time.Since(started))
+	writeJSON(w, http.StatusOK, JobResponse{
+		Key:       key,
+		Cached:    cached,
+		ElapsedMS: time.Since(started).Milliseconds(),
+		Result:    res,
+	})
+}
+
+// litmusListEntry is one row of GET /v1/litmus.
+type litmusListEntry struct {
+	Name  string `json:"name"`
+	Doc   string `json:"doc"`
+	Procs int    `json:"procs"`
+}
+
+func (s *Server) handleLitmusList(w http.ResponseWriter, _ *http.Request) {
+	tests, err := litmus.Corpus()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading corpus: %v", err)
+		return
+	}
+	out := make([]litmusListEntry, 0, len(tests))
+	for _, t := range tests {
+		out = append(out, litmusListEntry{Name: t.Name, Doc: t.Doc, Procs: len(t.Procs)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tests": out})
+}

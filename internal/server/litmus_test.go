@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ssmp/internal/litmus"
+)
+
+func TestLitmusEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+
+	// Corpus listing.
+	resp, body := getJSON(t, ts.URL+"/v1/litmus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/litmus: %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Tests []struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		} `json:"tests"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(list.Tests) < 10 {
+		t.Fatalf("corpus listing has %d tests, want >= 10", len(list.Tests))
+	}
+
+	// Run a corpus test by name.
+	resp, body = postJSON(t, ts.URL+"/v1/litmus", `{"name":"sb","seeds":16}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/litmus: %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Key    string        `json:"key"`
+		Cached bool          `json:"cached"`
+		Result litmus.Report `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if !jr.Result.Ok() || jr.Result.Name != "sb" || jr.Result.Seeds != 16 {
+		t.Fatalf("unexpected report: %+v", jr.Result)
+	}
+
+	// Resubmitting is a cache hit under the same key.
+	resp, body = postJSON(t, ts.URL+"/v1/litmus", `{"name":"sb","seeds":16}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/litmus (repeat): %d: %s", resp.StatusCode, body)
+	}
+	var jr2 struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &jr2); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if jr2.Key != jr.Key || !jr2.Cached {
+		t.Fatalf("expected cache hit under %s, got key %s cached=%v", jr.Key, jr2.Key, jr2.Cached)
+	}
+}
+
+func TestLitmusInlineTest(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	spec := `{"seeds":8,"test":{
+		"name": "inline",
+		"procs": [[
+			{"op": "write-global", "loc": "x", "val": 1},
+			{"op": "flush"},
+			{"op": "read-global", "loc": "x"}
+		]],
+		"must_forbid": ["P0:r0=0"]
+	}}`
+	resp, body := postJSON(t, ts.URL+"/v1/litmus", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/litmus: %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Result litmus.Report `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if !jr.Result.Ok() {
+		t.Fatalf("inline test failed: %+v", jr.Result)
+	}
+}
+
+func TestLitmusBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	for name, body := range map[string]string{
+		"no test":       `{}`,
+		"both":          `{"name":"sb","test":{"name":"x","procs":[[{"op":"flush"}]]}}`,
+		"unknown name":  `{"name":"nope"}`,
+		"bad seeds":     `{"name":"sb","seeds":100000}`,
+		"invalid test":  `{"test":{"name":"x","procs":[[{"op":"cas","loc":"x"}]]}}`,
+		"unknown field": `{"name":"sb","bogus":1}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/litmus", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %d, want 400: %s", name, resp.StatusCode, b)
+		}
+	}
+}

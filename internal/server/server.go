@@ -116,6 +116,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/figure", s.handleFigurePost)
 	s.mux.HandleFunc("GET /v1/figure/{n}", s.handleFigureGet)
+	s.mux.HandleFunc("POST /v1/litmus", s.handleLitmusPost)
+	s.mux.HandleFunc("GET /v1/litmus", s.handleLitmusList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

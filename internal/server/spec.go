@@ -45,6 +45,9 @@ type SimSpec struct {
 	Backoff bool `json:"backoff"`
 	// Seed drives all workload randomness.
 	Seed *uint64 `json:"seed,omitempty"`
+	// Jitter seeds schedule jitter (core.Config.Jitter); 0 keeps the
+	// canonical deterministic schedule.
+	Jitter uint64 `json:"jitter"`
 
 	// Ablation toggles (see core.Config).
 	DirectHandoff bool `json:"direct_handoff"`
@@ -170,6 +173,7 @@ func (s *SimSpec) config() core.Config {
 	cfg.IdealNetwork = s.IdealNetwork
 	cfg.DanceHall = s.DanceHall
 	cfg.DirMaxPointers = s.DirPointers
+	cfg.Jitter = s.Jitter
 	return cfg
 }
 

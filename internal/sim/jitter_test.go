@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fireOrder schedules n same-cycle events plus a few spread across later
+// cycles and returns the order in which the same-cycle batch fired.
+func fireOrder(t *testing.T, seed uint64) []int {
+	t.Helper()
+	e := NewEngine()
+	e.SetJitter(seed)
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.At(10, func() { order = append(order, i) })
+	}
+	// Later-cycle events must still fire strictly after the batch.
+	late := false
+	e.At(11, func() { late = true })
+	e.At(12, func() {
+		if !late {
+			t.Error("cycle-12 event fired before cycle-11 event")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 16 {
+		t.Fatalf("fired %d of 16 same-cycle events", len(order))
+	}
+	return order
+}
+
+func TestJitterOffKeepsInsertionOrder(t *testing.T) {
+	got := fireOrder(t, 0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("jitter off: order %v, want insertion order", got)
+		}
+	}
+}
+
+func TestJitterPermutesSameCycleEvents(t *testing.T) {
+	base := fireOrder(t, 0)
+	permuted := false
+	for seed := uint64(1); seed <= 8; seed++ {
+		if !reflect.DeepEqual(fireOrder(t, seed), base) {
+			permuted = true
+			break
+		}
+	}
+	if !permuted {
+		t.Fatal("no seed in 1..8 permuted the same-cycle order")
+	}
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		a := fireOrder(t, seed)
+		b := fireOrder(t, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: order differs between runs: %v vs %v", seed, a, b)
+		}
+	}
+}
+
+func TestJitterSeedsDiffer(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		key := ""
+		for _, v := range fireOrder(t, seed) {
+			key += string(rune('a' + v))
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("seeds 1..8 all produced the same schedule")
+	}
+}
+
+func TestJitterNeverReordersAcrossCycles(t *testing.T) {
+	e := NewEngine()
+	e.SetJitter(12345)
+	var times []Time
+	for i := 0; i < 64; i++ {
+		at := Time(i % 7)
+		e.At(at, func() { times = append(times, at) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("time regressed: %v", times)
+		}
+	}
+}

@@ -64,6 +64,7 @@ const (
 type record struct {
 	at      Time
 	seq     uint64
+	jit     uint64
 	fn      Event
 	step    Stepper
 	recv    Receiver
@@ -122,6 +123,9 @@ type Engine struct {
 	stopped   bool
 	limit     Time // horizon; Infinity when unset
 	interrupt func() error
+
+	jitterOn bool
+	jrng     uint64 // splitmix64 state; advanced once per scheduled event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -163,13 +167,41 @@ const interruptEvery = 1024
 // determinism: they can only end a run early, never reorder events.
 func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
 
-// less orders heap entries by (time, insertion sequence). The key is unique
-// per event, so the pop order is a total order independent of the heap's
-// internal arrangement.
+// SetJitter enables seeded schedule jitter: every event scheduled from now
+// on gets a pseudo-random tie-break key that orders it among events with the
+// same timestamp. Time ordering is untouched — jitter only permutes
+// same-cycle events, exploring schedules the (time, insertion order) default
+// never reaches. A given seed yields one fixed, reproducible permutation;
+// seed 0 disables jitter, restoring the exact default order, so golden
+// digests recorded without jitter stay bit-identical.
+//
+// Call SetJitter before scheduling: events already queued keep a zero jitter
+// key and sort ahead of any jittered event at the same cycle.
+func (e *Engine) SetJitter(seed uint64) {
+	e.jitterOn = seed != 0
+	e.jrng = seed
+}
+
+// nextJit advances the jitter PRNG (splitmix64) one step.
+func (e *Engine) nextJit() uint64 {
+	e.jrng += 0x9e3779b97f4a7c15
+	z := e.jrng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// less orders heap entries by (time, jitter, insertion sequence). With
+// jitter off every jit is zero and the order degenerates to (time, seq).
+// seq keeps the key unique either way, so the pop order is a total order
+// independent of the heap's internal arrangement.
 func (e *Engine) less(a, b int32) bool {
 	ra, rb := &e.pool[a], &e.pool[b]
 	if ra.at != rb.at {
 		return ra.at < rb.at
+	}
+	if ra.jit != rb.jit {
+		return ra.jit < rb.jit
 	}
 	return ra.seq < rb.seq
 }
@@ -239,6 +271,10 @@ func (e *Engine) schedule(t Time, kind eventKind) (int32, *record) {
 	}
 	r := &e.pool[id]
 	r.at, r.seq, r.kind, r.dead = t, e.seq, kind, false
+	r.jit = 0
+	if e.jitterOn {
+		r.jit = e.nextJit()
+	}
 	e.seq++
 	e.heap = append(e.heap, id)
 	e.siftUp(len(e.heap) - 1)
