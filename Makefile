@@ -23,18 +23,20 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Machine-readable throughput record: best of 3 runs, written to
-# results/BENCH_3.json with before-vs-after ratios against the previous
-# record, and mirrored to results/BENCH_latest.json (see cmd/benchjson).
+# results/BENCH_4.json with before-vs-after ratios against the pre-overhaul
+# checker baseline, and mirrored to results/BENCH_latest.json (see
+# cmd/benchjson).
 bench-json:
-	$(GO) test -bench=SimulatorThroughput -benchmem -benchtime=2s -count=3 -run=^$$ . \
-		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -baseline=results/BENCH_2.json \
-			-out results/BENCH_3.json -latest results/BENCH_latest.json
-	@cat results/BENCH_3.json
+	$(GO) test '-bench=SimulatorThroughput|Enumerate|LitmusCorpus' -benchmem -benchtime=2s -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -baseline=results/BENCH_4_baseline.json \
+			-out results/BENCH_4.json -latest results/BENCH_latest.json
+	@cat results/BENCH_4.json
 
-# One-iteration benchmark smoke: proves the bench path builds and runs; used
-# by CI, where timing numbers would be noise anyway.
+# One-iteration benchmark smoke: proves the bench paths (simulator kernel and
+# exploration engine) build and run; used by CI, where timing numbers would be
+# noise anyway.
 bench-smoke:
-	$(GO) test -bench=SimulatorThroughput -benchtime=1x -run=^$$ .
+	$(GO) test '-bench=SimulatorThroughput|Enumerate' -benchtime=1x -run=^$$ .
 
 # Litmus cross-validation: the embedded corpus under the race detector,
 # then a bounded fuzz of random programs against the axiomatic model.

@@ -10,8 +10,10 @@ import (
 	"testing"
 
 	"ssmp"
+	"ssmp/internal/bccheck"
 	"ssmp/internal/core"
 	"ssmp/internal/harness"
+	"ssmp/internal/litmus"
 	"ssmp/internal/msg"
 	"ssmp/internal/network"
 	"ssmp/internal/syncprim"
@@ -729,4 +731,80 @@ func BenchmarkMCSVersusCBL(b *testing.B) {
 			b.ReportMetric(float64(msgs), "messages")
 		})
 	}
+}
+
+// BenchmarkEnumerate measures the raw exploration engine on three classic
+// shapes: SB (wide 2-proc interleaving), message passing through update
+// subscriptions (propagation multiset), and a 4-proc IRIW-style program
+// whose reader pairs blow up the interleaving space.
+func BenchmarkEnumerate(b *testing.B) {
+	x := bccheck.Loc{Block: 0}
+	y := bccheck.Loc{Block: 1}
+	cases := []struct {
+		name string
+		prog bccheck.Program
+		opts bccheck.Options
+	}{
+		{
+			name: "sb",
+			prog: bccheck.Program{
+				{{Op: bccheck.OpWriteGlobal, Loc: x, Val: 1}, {Op: bccheck.OpReadGlobal, Loc: y}},
+				{{Op: bccheck.OpWriteGlobal, Loc: y, Val: 1}, {Op: bccheck.OpReadGlobal, Loc: x}},
+			},
+		},
+		{
+			name: "mp-update",
+			prog: bccheck.Program{
+				{{Op: bccheck.OpWriteGlobal, Loc: x, Val: 1}, {Op: bccheck.OpWriteGlobal, Loc: y, Val: 1}, {Op: bccheck.OpFlush}},
+				{{Op: bccheck.OpReadUpdate, Loc: y}, {Op: bccheck.OpReadUpdate, Loc: x}},
+			},
+		},
+		{
+			name: "iriw-update",
+			prog: bccheck.Program{
+				{{Op: bccheck.OpWriteGlobal, Loc: x, Val: 1}},
+				{{Op: bccheck.OpWriteGlobal, Loc: y, Val: 1}},
+				{{Op: bccheck.OpReadUpdate, Loc: x}, {Op: bccheck.OpReadGlobal, Loc: y}},
+				{{Op: bccheck.OpReadUpdate, Loc: y}, {Op: bccheck.OpReadGlobal, Loc: x}},
+			},
+		},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := bccheck.Enumerate(c.prog, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states), "states")
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+}
+
+// BenchmarkLitmusCorpus enumerates the full embedded corpus — the
+// axiomatic half of what `make litmus` and /v1/litmus pay per job.
+func BenchmarkLitmusCorpus(b *testing.B) {
+	tests, err := litmus.Corpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var states int
+	for i := 0; i < b.N; i++ {
+		states = 0
+		for _, t := range tests {
+			rep, err := litmus.Run(t, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states += rep.States
+		}
+	}
+	b.ReportMetric(float64(states), "states")
+	b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
 }

@@ -14,14 +14,33 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"ssmp/internal/bccheck"
 	"ssmp/internal/litmus"
 )
+
+// tuningFlags registers the exploration-engine knobs shared by run,
+// explain, and fuzz.
+func tuningFlags(fs *flag.FlagSet) func() (bccheck.Tuning, error) {
+	por := fs.String("por", "on", "partial-order reduction: on or off")
+	workers := fs.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
+	return func() (bccheck.Tuning, error) {
+		switch *por {
+		case "on", "off":
+		default:
+			return bccheck.Tuning{}, fmt.Errorf("-por must be on or off, got %q", *por)
+		}
+		return bccheck.Tuning{DisablePOR: *por == "off", Workers: *workers}, nil
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -54,10 +73,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ssmplitmus list                              list the embedded corpus
-  ssmplitmus run [-seeds N] [-v] [name ...]    cross-validate tests (default: all)
+  ssmplitmus run [-seeds N] [-v] [-por on|off] [-workers N] [name ...]
+                                               cross-validate tests (default: all)
   ssmplitmus show name                         print a corpus test's JSON
   ssmplitmus explain [-seeds N] name outcome   show the execution graph of a run producing outcome
-  ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N]
+  ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N] [-por on|off] [-workers N]
                                                fuzz random programs against the model`)
 	os.Exit(2)
 }
@@ -77,7 +97,12 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seeds := fs.Int("seeds", 64, "jitter seeds to sweep per test")
 	verbose := fs.Bool("v", false, "print each test's allowed and observed outcomes")
+	tuning := tuningFlags(fs)
 	_ = fs.Parse(args)
+	tune, err := tuning()
+	if err != nil {
+		return err
+	}
 
 	var tests []*litmus.Test
 	if fs.NArg() == 0 {
@@ -97,7 +122,7 @@ func cmdRun(args []string) error {
 
 	failures := 0
 	for _, t := range tests {
-		rep, err := litmus.Run(t, litmus.Seeds(*seeds))
+		rep, err := litmus.RunTuned(t, litmus.Seeds(*seeds), tune)
 		if err != nil {
 			return fmt.Errorf("%s: %w", t.Name, err)
 		}
@@ -181,13 +206,24 @@ func cmdFuzz(args []string) error {
 	count := fs.Int("n", 100, "candidate count when no budget is set")
 	rng := fs.Uint64("rng", 1, "generator seed")
 	seeds := fs.Int("seeds", 16, "jitter seeds per candidate")
+	tuning := tuningFlags(fs)
 	_ = fs.Parse(args)
+	tune, err := tuning()
+	if err != nil {
+		return err
+	}
 
-	st, err := litmus.Fuzz(litmus.FuzzOptions{
+	// SIGINT/SIGTERM stop the run cleanly between candidates; stats for
+	// the work done so far still print.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	st, err := litmus.Fuzz(ctx, litmus.FuzzOptions{
 		Rng:    *rng,
 		Seeds:  litmus.Seeds(*seeds),
 		Budget: *budget,
 		Count:  *count,
+		Tuning: tune,
 		Log: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
@@ -195,8 +231,8 @@ func cmdFuzz(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fuzz: %d candidates tested, %d skipped at the state limit, %s elapsed\n",
-		st.Tested, st.Skipped, st.Elapsed.Round(time.Millisecond))
+	fmt.Printf("fuzz: %d candidates tested, %d skipped at the state limit, %s elapsed (%s)\n",
+		st.Tested, st.Skipped, st.Elapsed.Round(time.Millisecond), st.Rates())
 	if st.Failure == nil {
 		return nil
 	}

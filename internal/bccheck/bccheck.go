@@ -76,10 +76,52 @@ type Options struct {
 	MaxStates int
 	// LocName renders locations in witness labels (default "b<B>w<W>").
 	LocName func(Loc) string
+	// Witnesses asks for one witness trace per outcome. Witness mode
+	// forces the serial canonical engine (see Tuning).
+	Witnesses bool
+	// Tuning selects exploration-engine variants. The zero value — POR
+	// on, workers = GOMAXPROCS — is correct for all programs; Tuning only
+	// trades time for reproduction of the unreduced state count.
+	Tuning Tuning
+}
+
+// Tuning selects exploration strategies. Every setting preserves the
+// outcome set; DisablePOR additionally preserves the unreduced state
+// count, and any Workers value yields results bit-identical to Workers=1.
+type Tuning struct {
+	// DisablePOR turns off partial-order reduction, exploring the full
+	// interleaving graph (the pre-reduction semantics).
+	DisablePOR bool
+	// Workers caps exploration parallelism. 0 means GOMAXPROCS; 1 forces
+	// the serial engine.
+	Workers int
 }
 
 // ErrStateLimit is returned when the search exceeds Options.MaxStates.
+// The concrete error is a *StateLimitError; errors.Is(err, ErrStateLimit)
+// matches it.
 var ErrStateLimit = errors.New("bccheck: state limit exceeded")
+
+// StateLimitError reports an aborted search: how many states were
+// explored, the configured cap, and a canonical prefix of the exploration
+// (the first-successor walk from the initial state) to show where the
+// blow-up lives.
+type StateLimitError struct {
+	States int
+	Limit  int
+	Prefix []string
+}
+
+func (e *StateLimitError) Error() string {
+	msg := fmt.Sprintf("bccheck: state limit exceeded: %d states explored, cap %d", e.States, e.Limit)
+	if len(e.Prefix) > 0 {
+		msg += "; deepest canonical prefix: " + strings.Join(e.Prefix, "; ")
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrStateLimit) work for wrapped limit errors.
+func (e *StateLimitError) Is(target error) bool { return target == ErrStateLimit }
 
 // Outcome is one allowed final state: the values each processor's reads
 // returned, in program order, plus the final memory values of the observed
@@ -118,7 +160,12 @@ type Result struct {
 	// Outcomes is the allowed set, sorted by Key.
 	Outcomes []Outcome
 	// States is the number of distinct abstract-machine states visited.
+	// With partial-order reduction on (the default) this counts the
+	// reduced graph; with Tuning.DisablePOR it matches the full graph.
 	States int
+	// Pruned counts enabled transitions skipped by partial-order
+	// reduction. Zero when Tuning.DisablePOR is set.
+	Pruned int
 }
 
 // Has reports whether the allowed set contains an outcome with the given

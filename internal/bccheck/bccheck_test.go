@@ -1,6 +1,7 @@
 package bccheck
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -108,10 +109,16 @@ func TestWitnessRecorded(t *testing.T) {
 		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpReadGlobal, Loc: y}},
 		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpReadGlobal, Loc: x}},
 	}
-	res := enumerate(t, prog, Options{})
+	res := enumerate(t, prog, Options{Witnesses: true})
 	for _, o := range res.Outcomes {
 		if len(o.Witness) == 0 {
 			t.Fatalf("outcome %q has no witness", o.Key())
+		}
+	}
+	plain := enumerate(t, prog, Options{})
+	for _, o := range plain.Outcomes {
+		if len(o.Witness) != 0 {
+			t.Fatalf("outcome %q has a witness without Witnesses set", o.Key())
 		}
 	}
 }
@@ -147,8 +154,19 @@ func TestStateLimit(t *testing.T) {
 		{{Op: OpWriteGlobal, Loc: x, Val: 1}, {Op: OpReadGlobal, Loc: y}},
 		{{Op: OpWriteGlobal, Loc: y, Val: 1}, {Op: OpReadGlobal, Loc: x}},
 	}
-	if _, err := Enumerate(prog, Options{MaxStates: 3}); err != ErrStateLimit {
+	_, err := Enumerate(prog, Options{MaxStates: 3})
+	if !errors.Is(err, ErrStateLimit) {
 		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+	var sle *StateLimitError
+	if !errors.As(err, &sle) {
+		t.Fatalf("want *StateLimitError, got %T", err)
+	}
+	if sle.Limit != 3 || sle.States <= 3 {
+		t.Errorf("StateLimitError fields: states=%d limit=%d", sle.States, sle.Limit)
+	}
+	if len(sle.Prefix) == 0 {
+		t.Errorf("StateLimitError has no canonical prefix")
 	}
 }
 

@@ -1,14 +1,15 @@
 package bccheck
 
-// The abstract BC machine. State is tiny (a handful of words per litmus
-// program), so exploration clones eagerly and memoizes on an encoded key.
+// The abstract BC machine: program compilation and the transition
+// semantics. States are the flat pooled representation of state.go;
+// successors are generated through an emit callback carrying a small
+// structured step descriptor (sdesc) that is rendered to text only when
+// a witness or deadlock report actually needs it.
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sort"
-	"strings"
 )
 
 const defaultMaxStates = 2_000_000
@@ -28,6 +29,23 @@ type compiled struct {
 	barName []int // compiled barrier index -> user barrier id
 	max     int
 	locName func(Loc) string
+	tune    Tuning
+	wit     bool
+
+	// Flat-state layout: per-proc segment offsets into mstate.regs/buf.
+	regOff []int32
+	regCap int
+	bufOff []int32
+	bufCap int
+
+	// Partial-order-reduction lookahead masks, per proc, indexed by pc in
+	// [0, len(prog[p])]: bit b is set iff some instruction at index >= pc
+	// touches block b in the stated way. Blocks are capped at 16, so a
+	// uint16 holds a block set. See por.go for how they are used.
+	futMemNoWG   [][]uint16 // memory-observing ops other than WRITE-GLOBAL
+	futWG        [][]uint16 // WRITE-GLOBAL
+	futPlainRead [][]uint16 // plain READ
+	futLineRead  [][]uint16 // ops that read the data cache line (READ, READ-UPDATE)
 }
 
 type blockInfo struct {
@@ -88,7 +106,13 @@ func compile(prog Program, opts Options) (*compiled, error) {
 		return nil, fmt.Errorf("bccheck: %d blocks referenced (max 16)", len(words))
 	}
 
-	c := &compiled{nproc: len(prog), max: opts.MaxStates, locName: opts.LocName}
+	c := &compiled{
+		nproc:   len(prog),
+		max:     opts.MaxStates,
+		locName: opts.LocName,
+		tune:    opts.Tuning,
+		wit:     opts.Witnesses,
+	}
 	if c.max <= 0 {
 		c.max = defaultMaxStates
 	}
@@ -191,246 +215,63 @@ func compile(prog Program, opts Options) (*compiled, error) {
 		}
 		c.prog = append(c.prog, low)
 	}
+
+	c.layout()
+	c.computeMasks()
 	return c, nil
 }
 
-// Processor status.
-const (
-	stRun   uint8 = iota // executing; runnable if pc < len(prog)
-	stLock               // waiting for a lock grant
-	stFlush              // waiting for the write buffer to drain
-	stBar                // waiting for a barrier release
-)
-
-type line struct {
-	present bool
-	update  bool
-	vals    []uint64
-	dirty   []bool
-}
-
-type bufent struct {
-	blk, wi, wrd int
-	val          uint64
-}
-
-type lockw struct {
-	proc    int
-	write   bool
-	holding bool
-}
-
-type prop struct {
-	dst, blk int
-	vals     []uint64
-}
-
-type unsub struct {
-	proc, blk int
-}
-
-type pstate struct {
-	pc, stage int
-	status    uint8
-	regs      []uint64
-	lines     []line // data cache, per block
-	locklns   []line // lock cache, per block; present == holding
-	buf       []bufent
-}
-
-type mstate struct {
-	mem    []uint64
-	procs  []pstate
-	locks  [][]lockw // per block: FIFO grant queue
-	subs   []uint32  // per block: subscriber bitmask (home's chain)
-	props  []prop    // update propagations in flight
-	unsubs []unsub   // unsubscriptions in flight
-	bars   []uint32  // per barrier: arrived bitmask
-}
-
-func (c *compiled) initial() *mstate {
-	s := &mstate{
-		mem:   append([]uint64(nil), c.init...),
-		procs: make([]pstate, c.nproc),
-		locks: make([][]lockw, len(c.blocks)),
-		subs:  make([]uint32, len(c.blocks)),
-		bars:  make([]uint32, c.nbar),
-	}
-	for p := range s.procs {
-		s.procs[p].lines = make([]line, len(c.blocks))
-		s.procs[p].locklns = make([]line, len(c.blocks))
-	}
-	return s
-}
-
-func cloneLine(l line) line {
-	return line{
-		present: l.present,
-		update:  l.update,
-		vals:    append([]uint64(nil), l.vals...),
-		dirty:   append([]bool(nil), l.dirty...),
-	}
-}
-
-func (s *mstate) clone() *mstate {
-	n := &mstate{
-		mem:    append([]uint64(nil), s.mem...),
-		procs:  make([]pstate, len(s.procs)),
-		locks:  make([][]lockw, len(s.locks)),
-		subs:   append([]uint32(nil), s.subs...),
-		props:  make([]prop, len(s.props)),
-		unsubs: append([]unsub(nil), s.unsubs...),
-		bars:   append([]uint32(nil), s.bars...),
-	}
-	for i, q := range s.locks {
-		n.locks[i] = append([]lockw(nil), q...)
-	}
-	for i, pr := range s.props {
-		n.props[i] = prop{pr.dst, pr.blk, append([]uint64(nil), pr.vals...)}
-	}
-	for i := range s.procs {
-		p := &s.procs[i]
-		np := &n.procs[i]
-		np.pc, np.stage, np.status = p.pc, p.stage, p.status
-		np.regs = append([]uint64(nil), p.regs...)
-		np.buf = append([]bufent(nil), p.buf...)
-		np.lines = make([]line, len(p.lines))
-		np.locklns = make([]line, len(p.locklns))
-		for b := range p.lines {
-			np.lines[b] = cloneLine(p.lines[b])
-			np.locklns[b] = cloneLine(p.locklns[b])
-		}
-	}
-	return n
-}
-
-// encode serializes a state into a memoization key. Message multisets are
-// sorted so states differing only in bookkeeping order coincide.
-func (c *compiled) encode(s *mstate) string {
-	var b []byte
-	u := func(v uint64) { b = binary.AppendUvarint(b, v) }
-	for _, v := range s.mem {
-		u(v)
-	}
-	for i := range s.procs {
-		p := &s.procs[i]
-		u(uint64(p.pc))
-		u(uint64(p.stage))
-		u(uint64(p.status))
-		u(uint64(len(p.regs)))
-		for _, v := range p.regs {
-			u(v)
-		}
-		u(uint64(len(p.buf)))
-		for _, e := range p.buf {
-			u(uint64(e.wrd))
-			u(e.val)
-		}
-		enc := func(l *line) {
-			if !l.present {
-				u(0)
-				return
+// layout sizes the flat register and buffer arenas: a proc reads at most
+// once per reading instruction and buffers at most once per WRITE-GLOBAL,
+// so fixed per-proc segments hold any execution.
+func (c *compiled) layout() {
+	c.regOff = make([]int32, c.nproc)
+	c.bufOff = make([]int32, c.nproc)
+	for p, instrs := range c.prog {
+		c.regOff[p] = int32(c.regCap)
+		c.bufOff[p] = int32(c.bufCap)
+		for _, in := range instrs {
+			if in.op.Reads() {
+				c.regCap++
 			}
-			flags := uint64(1)
-			if l.update {
-				flags |= 2
-			}
-			u(flags)
-			for i, v := range l.vals {
-				u(v)
-				if l.dirty[i] {
-					u(1)
-				} else {
-					u(0)
-				}
-			}
-		}
-		for bi := range p.lines {
-			enc(&p.lines[bi])
-			enc(&p.locklns[bi])
-		}
-	}
-	for _, q := range s.locks {
-		u(uint64(len(q)))
-		for _, w := range q {
-			u(uint64(w.proc))
-			if w.write {
-				u(1)
-			} else {
-				u(0)
-			}
-			if w.holding {
-				u(1)
-			} else {
-				u(0)
+			if in.op == OpWriteGlobal {
+				c.bufCap++
 			}
 		}
 	}
-	for _, m := range s.subs {
-		u(uint64(m))
-	}
-	for _, m := range s.bars {
-		u(uint64(m))
-	}
-	props := make([]string, len(s.props))
-	for i, pr := range s.props {
-		props[i] = fmt.Sprint(pr.dst, pr.blk, pr.vals)
-	}
-	sort.Strings(props)
-	u(uint64(len(props)))
-	for _, ps := range props {
-		b = append(b, ps...)
-	}
-	us := make([]string, len(s.unsubs))
-	for i, un := range s.unsubs {
-		us[i] = fmt.Sprint(un.proc, un.blk)
-	}
-	sort.Strings(us)
-	u(uint64(len(us)))
-	for _, s := range us {
-		b = append(b, s...)
-	}
-	return string(b)
 }
 
-type succ struct {
-	label string
-	next  *mstate
-}
-
-// installLine fills a data-cache line from memory (a read-miss fill: whole
-// block, clean, unsubscribed).
-func (c *compiled) installLine(s *mstate, p, blk int) {
+// installLine fills a cache line from memory (whole block, clean; for the
+// data cache this is a read-miss fill, for the lock cache a grant).
+func (c *compiled) installLine(s *mstate, p, kind, blk int) {
 	b := &c.blocks[blk]
-	ln := &s.procs[p].lines[blk]
-	ln.present = true
-	ln.update = false
-	ln.vals = append(ln.vals[:0], s.mem[b.base:b.base+len(b.words)]...)
-	ln.dirty = make([]bool, len(b.words))
+	i := c.li(p, kind, blk)
+	s.lineF[i] = lfPresent
+	s.lineD[i] = 0
+	v0 := c.lv(p, kind, blk)
+	copy(s.lineV[v0:v0+len(b.words)], s.mem[b.base:b.base+len(b.words)])
 }
 
-// refreshClean merges memory into the clean words of a present line (the
-// per-word merge of installs and update propagations).
+// refreshClean merges memory into the clean words of a present data line
+// (the per-word merge of installs and update propagations).
 func (c *compiled) refreshClean(s *mstate, p, blk int) {
 	b := &c.blocks[blk]
-	ln := &s.procs[p].lines[blk]
+	d := s.lineD[c.li(p, 0, blk)]
+	v0 := c.lv(p, 0, blk)
 	for i := range b.words {
-		if !ln.dirty[i] {
-			ln.vals[i] = s.mem[b.base+i]
+		if d&(1<<uint(i)) == 0 {
+			s.lineV[v0+i] = s.mem[b.base+i]
 		}
 	}
 }
 
 // grant installs the lock line from current memory and resumes the waiter.
 func (c *compiled) grant(s *mstate, p, blk int) {
-	b := &c.blocks[blk]
-	ll := &s.procs[p].locklns[blk]
-	ll.present = true
-	ll.vals = append(ll.vals[:0], s.mem[b.base:b.base+len(b.words)]...)
-	ll.dirty = make([]bool, len(b.words))
-	if s.procs[p].status == stLock {
-		s.procs[p].status = stRun
-		s.procs[p].pc++
+	c.installLine(s, p, 1, blk)
+	ps := &s.procs[p]
+	if ps.status == stLock {
+		ps.status = stRun
+		ps.pc++
 	}
 }
 
@@ -438,31 +279,37 @@ func (c *compiled) grant(s *mstate, p, blk int) {
 // grants the next wave (a writer alone, or the run of readers at the head).
 func (c *compiled) release(s *mstate, p, blk int) {
 	b := &c.blocks[blk]
-	ll := &s.procs[p].locklns[blk]
-	for i := range b.words {
-		if ll.dirty[i] {
-			s.mem[b.base+i] = ll.vals[i]
+	i := c.li(p, 1, blk)
+	d := s.lineD[i]
+	v0 := c.lv(p, 1, blk)
+	for wi := range b.words {
+		if d&(1<<uint(wi)) != 0 {
+			s.mem[b.base+wi] = s.lineV[v0+wi]
 		}
 	}
-	*ll = line{}
-	q := s.locks[blk]
-	for i, w := range q {
-		if w.proc == p {
-			q = append(q[:i], q[i+1:]...)
+	s.lineF[i] = 0
+	s.lineD[i] = 0
+	q0 := blk * c.nproc
+	qn := int(s.lockN[blk])
+	for j := 0; j < qn; j++ {
+		if int(s.lockQ[q0+j]&lqProc) == p {
+			copy(s.lockQ[q0+j:q0+qn-1], s.lockQ[q0+j+1:q0+qn])
+			qn--
 			break
 		}
 	}
-	s.locks[blk] = q
-	if len(q) == 0 || q[0].holding {
+	s.lockN[blk] = uint8(qn)
+	if qn == 0 || s.lockQ[q0]&lqHold != 0 {
 		return
 	}
-	headWrite := q[0].write
-	for i := 0; i < len(q); i++ {
-		if q[i].holding || (i > 0 && (headWrite || q[i].write)) {
+	headWrite := s.lockQ[q0]&lqWrite != 0
+	for j := 0; j < qn; j++ {
+		e := s.lockQ[q0+j]
+		if e&lqHold != 0 || (j > 0 && (headWrite || e&lqWrite != 0)) {
 			break
 		}
-		q[i].holding = true
-		c.grant(s, q[i].proc, blk)
+		s.lockQ[q0+j] = e | lqHold
+		c.grant(s, int(e&lqProc), blk)
 		if headWrite {
 			break
 		}
@@ -473,7 +320,7 @@ func (c *compiled) release(s *mstate, p, blk int) {
 // past the flush (or into the release/arrive stage of UNLOCK/BARRIER).
 func (c *compiled) unblockFlush(s *mstate, p int) {
 	ps := &s.procs[p]
-	if ps.status != stFlush || len(ps.buf) != 0 {
+	if ps.status != stFlush || ps.bufLo != ps.bufHi {
 		return
 	}
 	ps.status = stRun
@@ -485,197 +332,319 @@ func (c *compiled) unblockFlush(s *mstate, p int) {
 	}
 }
 
-func (c *compiled) name(in cinstr) string { return c.locName(in.loc) }
-
-// procSuccs returns the successor states from processor p taking its next
-// architectural step.
-func (c *compiled) procSuccs(s *mstate, p int) []succ {
+func (c *compiled) pushReg(s *mstate, p int, v uint64) {
 	ps := &s.procs[p]
-	in := c.prog[p][ps.pc]
-	one := func(label string, n *mstate) []succ { return []succ{{label, n}} }
+	s.regs[int(c.regOff[p])+int(ps.nregs)] = v
+	ps.nregs++
+}
+
+// Step descriptors: enough structure to render the old engine's witness
+// labels on demand.
+const (
+	sdProc uint8 = iota
+	sdRetire
+	sdProp
+	sdUnsub
+)
+
+const (
+	vCache uint8 = iota
+	vLockLine
+	vMissFill
+	vPrivate
+	vBuffered
+	vSubHit
+	vSubscribe
+	vSubAfterReset
+	vNoop
+	vReset
+	vEmpty
+	vStall
+	vGranted
+	vQueued
+	vFlushFirst
+	vBufEmpty
+	vReleased
+	vLastArrival
+	vWaiting
+	vApplied
+	vDropped
+)
+
+type sdesc struct {
+	kind    uint8
+	variant uint8
+	proc    int8
+	op      Op
+	loc     Loc
+	val     uint64
+	aux     int32 // stall depth, or prop/unsub user block id
+}
+
+// render turns a descriptor into the human-readable step label.
+func (c *compiled) render(d *sdesc) string {
+	switch d.kind {
+	case sdRetire:
+		return fmt.Sprintf("P%d's WRITE-GLOBAL %s = %d performs at memory", d.proc, c.locName(d.loc), d.val)
+	case sdProp:
+		how := "applied"
+		if d.variant == vDropped {
+			how = "dropped, no copy"
+		}
+		return fmt.Sprintf("update for block %d reaches P%d (%s)", d.aux, d.proc, how)
+	case sdUnsub:
+		return fmt.Sprintf("P%d's RESET-UPDATE for block %d reaches home", d.proc, d.aux)
+	}
+	name := c.locName(d.loc)
+	switch d.op {
+	case OpRead:
+		src := map[uint8]string{vCache: "cache", vLockLine: "lock line", vMissFill: "miss fill"}[d.variant]
+		return fmt.Sprintf("P%d: READ %s = %d (%s)", d.proc, name, d.val, src)
+	case OpWrite:
+		tgt := "private"
+		if d.variant == vLockLine {
+			tgt = "lock line"
+		}
+		return fmt.Sprintf("P%d: WRITE %s = %d (%s)", d.proc, name, d.val, tgt)
+	case OpReadGlobal:
+		return fmt.Sprintf("P%d: READ-GLOBAL %s = %d", d.proc, name, d.val)
+	case OpWriteGlobal:
+		how := "buffered"
+		if d.variant == vLockLine {
+			how = "lock line"
+		}
+		return fmt.Sprintf("P%d: WRITE-GLOBAL %s = %d (%s)", d.proc, name, d.val, how)
+	case OpReadUpdate:
+		how := map[uint8]string{vSubHit: "subscribed hit", vSubscribe: "subscribe", vSubAfterReset: "subscribe after pending reset"}[d.variant]
+		return fmt.Sprintf("P%d: READ-UPDATE %s = %d (%s)", d.proc, name, d.val, how)
+	case OpResetUpdate:
+		if d.variant == vNoop {
+			return fmt.Sprintf("P%d: RESET-UPDATE %s (no-op)", d.proc, name)
+		}
+		return fmt.Sprintf("P%d: RESET-UPDATE %s", d.proc, name)
+	case OpFlush:
+		if d.variant == vEmpty {
+			return fmt.Sprintf("P%d: FLUSH-BUFFER (empty)", d.proc)
+		}
+		return fmt.Sprintf("P%d: FLUSH-BUFFER (stall, %d pending)", d.proc, d.aux)
+	case OpReadLock, OpWriteLock:
+		how := "granted"
+		if d.variant == vQueued {
+			how = "queued"
+		}
+		return fmt.Sprintf("P%d: %v %s (%s)", d.proc, d.op, name, how)
+	case OpUnlock:
+		how := map[uint8]string{vFlushFirst: "flushing first", vBufEmpty: "buffer empty", vReleased: "released"}[d.variant]
+		return fmt.Sprintf("P%d: UNLOCK %s (%s)", d.proc, name, how)
+	case OpBarrier:
+		how := map[uint8]string{vFlushFirst: "flushing first", vBufEmpty: "buffer empty", vLastArrival: "last arrival, release all", vWaiting: "arrived, waiting"}[d.variant]
+		return fmt.Sprintf("P%d: BARRIER %d (%s)", d.proc, d.loc.Block, how)
+	}
+	return fmt.Sprintf("P%d: %v", d.proc, d.op)
+}
+
+type emitFn func(d sdesc, n *mstate)
+
+// subscribeRU performs READ-UPDATE's subscribe action on a clone: join the
+// home chain, fold memory into the line's clean words (or fill it), mark
+// it update-mode, and read.
+func (c *compiled) subscribeRU(n *mstate, p int, in *cinstr) uint64 {
+	n.subs[in.blk] |= 1 << uint(p)
+	i := c.li(p, 0, in.blk)
+	if n.lineF[i]&lfPresent != 0 {
+		c.refreshClean(n, p, in.blk)
+	} else {
+		c.installLine(n, p, 0, in.blk)
+	}
+	n.lineF[i] |= lfUpdate
+	v := n.lineV[c.lv(p, 0, in.blk)+in.wi]
+	c.pushReg(n, p, v)
+	n.procs[p].pc++
+	return v
+}
+
+// procStep emits the successor state(s) of processor p taking its next
+// architectural step.
+func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
+	ps := &s.procs[p]
+	in := &c.prog[p][ps.pc]
+	p8 := int8(p)
 	switch in.op {
 	case OpRead:
-		n := s.clone()
-		np := &n.procs[p]
+		n := w.clone(s)
 		var v uint64
-		src := "cache"
-		if np.locklns[in.blk].present {
-			v = np.locklns[in.blk].vals[in.wi]
-			src = "lock line"
+		variant := vCache
+		if n.lineF[c.li(p, 1, in.blk)]&lfPresent != 0 {
+			v = n.lineV[c.lv(p, 1, in.blk)+in.wi]
+			variant = vLockLine
 		} else {
-			if !np.lines[in.blk].present {
-				c.installLine(n, p, in.blk)
-				src = "miss fill"
+			if n.lineF[c.li(p, 0, in.blk)]&lfPresent == 0 {
+				c.installLine(n, p, 0, in.blk)
+				variant = vMissFill
 			}
-			v = np.lines[in.blk].vals[in.wi]
+			v = n.lineV[c.lv(p, 0, in.blk)+in.wi]
 		}
-		np.regs = append(np.regs, v)
-		np.pc++
-		return one(fmt.Sprintf("P%d: READ %s = %d (%s)", p, c.name(in), v, src), n)
+		c.pushReg(n, p, v)
+		n.procs[p].pc++
+		emit(sdesc{kind: sdProc, proc: p8, op: OpRead, variant: variant, loc: in.loc, val: v}, n)
 
 	case OpWrite:
-		n := s.clone()
-		np := &n.procs[p]
-		tgt := "private"
-		if np.locklns[in.blk].present {
-			np.locklns[in.blk].vals[in.wi] = in.val
-			np.locklns[in.blk].dirty[in.wi] = true
-			tgt = "lock line"
-		} else {
-			if !np.lines[in.blk].present {
-				c.installLine(n, p, in.blk)
-			}
-			np.lines[in.blk].vals[in.wi] = in.val
-			np.lines[in.blk].dirty[in.wi] = true
+		n := w.clone(s)
+		variant := vPrivate
+		kind := 0
+		if n.lineF[c.li(p, 1, in.blk)]&lfPresent != 0 {
+			kind = 1
+			variant = vLockLine
+		} else if n.lineF[c.li(p, 0, in.blk)]&lfPresent == 0 {
+			c.installLine(n, p, 0, in.blk)
 		}
-		np.pc++
-		return one(fmt.Sprintf("P%d: WRITE %s = %d (%s)", p, c.name(in), in.val, tgt), n)
+		n.lineV[c.lv(p, kind, in.blk)+in.wi] = in.val
+		n.lineD[c.li(p, kind, in.blk)] |= 1 << uint(in.wi)
+		n.procs[p].pc++
+		emit(sdesc{kind: sdProc, proc: p8, op: OpWrite, variant: variant, loc: in.loc, val: in.val}, n)
 
 	case OpReadGlobal:
-		n := s.clone()
-		np := &n.procs[p]
+		n := w.clone(s)
 		v := n.mem[in.wrd]
-		np.regs = append(np.regs, v)
-		np.pc++
-		return one(fmt.Sprintf("P%d: READ-GLOBAL %s = %d", p, c.name(in), v), n)
+		c.pushReg(n, p, v)
+		n.procs[p].pc++
+		emit(sdesc{kind: sdProc, proc: p8, op: OpReadGlobal, loc: in.loc, val: v}, n)
 
 	case OpWriteGlobal:
-		n := s.clone()
+		n := w.clone(s)
 		np := &n.procs[p]
-		if np.locklns[in.blk].present {
+		if n.lineF[c.li(p, 1, in.blk)]&lfPresent != 0 {
 			// Under a write lock the store goes to the lock line, not the
 			// buffer (the concrete machine's WriteLocked path).
-			np.locklns[in.blk].vals[in.wi] = in.val
-			np.locklns[in.blk].dirty[in.wi] = true
+			n.lineV[c.lv(p, 1, in.blk)+in.wi] = in.val
+			n.lineD[c.li(p, 1, in.blk)] |= 1 << uint(in.wi)
 			np.pc++
-			return one(fmt.Sprintf("P%d: WRITE-GLOBAL %s = %d (lock line)", p, c.name(in), in.val), n)
+			emit(sdesc{kind: sdProc, proc: p8, op: OpWriteGlobal, variant: vLockLine, loc: in.loc, val: in.val}, n)
+			return
 		}
-		if np.lines[in.blk].present {
+		if n.lineF[c.li(p, 0, in.blk)]&lfPresent != 0 {
 			// Issue-time self-update of the local copy (dirty bits as-is).
-			np.lines[in.blk].vals[in.wi] = in.val
+			n.lineV[c.lv(p, 0, in.blk)+in.wi] = in.val
 		}
-		np.buf = append(np.buf, bufent{in.blk, in.wi, in.wrd, in.val})
+		n.buf[int(c.bufOff[p])+int(np.bufHi)] = bufent{val: in.val, wrd: int16(in.wrd), blk: int8(in.blk), wi: int8(in.wi)}
+		np.bufHi++
 		np.pc++
-		return one(fmt.Sprintf("P%d: WRITE-GLOBAL %s = %d (buffered)", p, c.name(in), in.val), n)
+		emit(sdesc{kind: sdProc, proc: p8, op: OpWriteGlobal, variant: vBuffered, loc: in.loc, val: in.val}, n)
 
 	case OpReadUpdate:
-		ln := &ps.lines[in.blk]
-		if ln.present && ln.update {
-			n := s.clone()
-			np := &n.procs[p]
-			v := np.lines[in.blk].vals[in.wi]
-			np.regs = append(np.regs, v)
-			np.pc++
-			return one(fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribed hit)", p, c.name(in), v), n)
+		if f := s.lineF[c.li(p, 0, in.blk)]; f&lfPresent != 0 && f&lfUpdate != 0 {
+			n := w.clone(s)
+			v := n.lineV[c.lv(p, 0, in.blk)+in.wi]
+			c.pushReg(n, p, v)
+			n.procs[p].pc++
+			emit(sdesc{kind: sdProc, proc: p8, op: OpReadUpdate, variant: vSubHit, loc: in.loc, val: v}, n)
+			return
 		}
-		subscribe := func(n *mstate) uint64 {
-			np := &n.procs[p]
-			n.subs[in.blk] |= 1 << uint(p)
-			if np.lines[in.blk].present {
-				c.refreshClean(n, p, in.blk)
-			} else {
-				c.installLine(n, p, in.blk)
-			}
-			np.lines[in.blk].update = true
-			v := np.lines[in.blk].vals[in.wi]
-			np.regs = append(np.regs, v)
-			np.pc++
-			return v
-		}
-		var out []succ
-		n := s.clone()
-		v := subscribe(n)
-		out = append(out, succ{fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribe)", p, c.name(in), v), n})
+		n := w.clone(s)
+		v := c.subscribeRU(n, p, in)
+		emit(sdesc{kind: sdProc, proc: p8, op: OpReadUpdate, variant: vSubscribe, loc: in.loc, val: v}, n)
 		// A still-pending RESET-UPDATE may be processed before or after the
 		// re-subscription; the late ordering silently cancels it.
-		for i, un := range s.unsubs {
-			if un.proc == p && un.blk == in.blk {
-				n2 := s.clone()
-				n2.unsubs = append(n2.unsubs[:i], n2.unsubs[i+1:]...)
+		for i, un := range s.unsub {
+			if int(un.proc) == p && int(un.blk) == in.blk {
+				n2 := w.clone(s)
+				n2.unsub = append(n2.unsub[:i], n2.unsub[i+1:]...)
 				n2.subs[in.blk] &^= 1 << uint(p)
-				v2 := subscribe(n2)
-				out = append(out, succ{fmt.Sprintf("P%d: READ-UPDATE %s = %d (subscribe after pending reset)", p, c.name(in), v2), n2})
+				v2 := c.subscribeRU(n2, p, in)
+				emit(sdesc{kind: sdProc, proc: p8, op: OpReadUpdate, variant: vSubAfterReset, loc: in.loc, val: v2}, n2)
 				break
 			}
 		}
-		return out
 
 	case OpResetUpdate:
-		n := s.clone()
-		np := &n.procs[p]
-		label := fmt.Sprintf("P%d: RESET-UPDATE %s (no-op)", p, c.name(in))
-		if np.lines[in.blk].present && np.lines[in.blk].update {
-			np.lines[in.blk].update = false
-			n.unsubs = append(n.unsubs, unsub{p, in.blk})
-			label = fmt.Sprintf("P%d: RESET-UPDATE %s", p, c.name(in))
+		n := w.clone(s)
+		variant := vNoop
+		i := c.li(p, 0, in.blk)
+		if f := n.lineF[i]; f&lfPresent != 0 && f&lfUpdate != 0 {
+			n.lineF[i] &^= lfUpdate
+			n.unsub = append(n.unsub, unsubm{proc: p8, blk: int8(in.blk)})
+			variant = vReset
 		}
-		np.pc++
-		return one(label, n)
+		n.procs[p].pc++
+		emit(sdesc{kind: sdProc, proc: p8, op: OpResetUpdate, variant: variant, loc: in.loc}, n)
 
 	case OpFlush:
-		n := s.clone()
+		n := w.clone(s)
 		np := &n.procs[p]
-		if len(np.buf) == 0 {
+		if np.bufLo == np.bufHi {
 			np.pc++
-			return one(fmt.Sprintf("P%d: FLUSH-BUFFER (empty)", p), n)
+			emit(sdesc{kind: sdProc, proc: p8, op: OpFlush, variant: vEmpty}, n)
+			return
 		}
 		np.status = stFlush
-		return one(fmt.Sprintf("P%d: FLUSH-BUFFER (stall, %d pending)", p, len(np.buf)), n)
+		emit(sdesc{kind: sdProc, proc: p8, op: OpFlush, variant: vStall, aux: int32(np.bufHi - np.bufLo)}, n)
 
 	case OpReadLock, OpWriteLock:
-		n := s.clone()
-		np := &n.procs[p]
+		n := w.clone(s)
 		write := in.op == OpWriteLock
-		q := n.locks[in.blk]
-		grantable := len(q) == 0
+		q0 := in.blk * c.nproc
+		qn := int(n.lockN[in.blk])
+		grantable := qn == 0
 		if !grantable && !write {
 			grantable = true
-			for _, w := range q {
-				if !w.holding || w.write {
+			for j := 0; j < qn; j++ {
+				if e := n.lockQ[q0+j]; e&lqHold == 0 || e&lqWrite != 0 {
 					grantable = false
 					break
 				}
 			}
 		}
-		q = append(q, lockw{proc: p, write: write, holding: grantable})
-		n.locks[in.blk] = q
+		e := uint8(p)
+		if write {
+			e |= lqWrite
+		}
+		if grantable {
+			e |= lqHold
+		}
+		n.lockQ[q0+qn] = e
+		n.lockN[in.blk]++
 		if grantable {
 			c.grant(n, p, in.blk)
-			np.pc++ // grant() only advances stLock waiters
-			return one(fmt.Sprintf("P%d: %v %s (granted)", p, in.op, c.name(in)), n)
+			n.procs[p].pc++ // grant() only advances stLock waiters
+			emit(sdesc{kind: sdProc, proc: p8, op: in.op, variant: vGranted, loc: in.loc}, n)
+			return
 		}
-		np.status = stLock
-		return one(fmt.Sprintf("P%d: %v %s (queued)", p, in.op, c.name(in)), n)
+		n.procs[p].status = stLock
+		emit(sdesc{kind: sdProc, proc: p8, op: in.op, variant: vQueued, loc: in.loc}, n)
 
 	case OpUnlock:
-		n := s.clone()
+		n := w.clone(s)
 		np := &n.procs[p]
 		if ps.stage == 0 {
-			if len(np.buf) > 0 {
+			if np.bufLo != np.bufHi {
 				np.status = stFlush
-				return one(fmt.Sprintf("P%d: UNLOCK %s (flushing first)", p, c.name(in)), n)
+				emit(sdesc{kind: sdProc, proc: p8, op: OpUnlock, variant: vFlushFirst, loc: in.loc}, n)
+				return
 			}
 			np.stage = 1
-			return one(fmt.Sprintf("P%d: UNLOCK %s (buffer empty)", p, c.name(in)), n)
+			emit(sdesc{kind: sdProc, proc: p8, op: OpUnlock, variant: vBufEmpty, loc: in.loc}, n)
+			return
 		}
 		c.release(n, p, in.blk)
 		np.pc++
 		np.stage = 0
-		return one(fmt.Sprintf("P%d: UNLOCK %s (released)", p, c.name(in)), n)
+		emit(sdesc{kind: sdProc, proc: p8, op: OpUnlock, variant: vReleased, loc: in.loc}, n)
 
 	case OpBarrier:
-		n := s.clone()
+		n := w.clone(s)
 		np := &n.procs[p]
 		if ps.stage == 0 {
-			if len(np.buf) > 0 {
+			if np.bufLo != np.bufHi {
 				np.status = stFlush
-				return one(fmt.Sprintf("P%d: BARRIER %d (flushing first)", p, c.barName[in.blk]), n)
+				emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vFlushFirst, loc: in.loc}, n)
+				return
 			}
 			np.stage = 1
-			return one(fmt.Sprintf("P%d: BARRIER %d (buffer empty)", p, c.barName[in.blk]), n)
+			emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vBufEmpty, loc: in.loc}, n)
+			return
 		}
 		mask := n.bars[in.blk] | 1<<uint(p)
-		if bits.OnesCount32(mask) == c.nproc {
+		if bits.OnesCount8(mask) == c.nproc {
 			for q := 0; q < c.nproc; q++ {
 				qs := &n.procs[q]
 				qs.status = stRun
@@ -683,138 +652,116 @@ func (c *compiled) procSuccs(s *mstate, p int) []succ {
 				qs.pc++
 			}
 			n.bars[in.blk] = 0
-			return one(fmt.Sprintf("P%d: BARRIER %d (last arrival, release all)", p, c.barName[in.blk]), n)
+			emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vLastArrival, loc: in.loc}, n)
+			return
 		}
 		n.bars[in.blk] = mask
 		np.status = stBar
-		return one(fmt.Sprintf("P%d: BARRIER %d (arrived, waiting)", p, c.barName[in.blk]), n)
+		emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vWaiting, loc: in.loc}, n)
 	}
-	panic("unreachable")
 }
 
-// successors enumerates every enabled transition: processor steps, buffered
-// writes retiring at memory, update propagations delivering, and
-// unsubscriptions taking effect.
-func (c *compiled) successors(s *mstate) []succ {
-	var out []succ
-	for p := range s.procs {
-		ps := &s.procs[p]
-		if ps.status == stRun && ps.pc < len(c.prog[p]) {
-			out = append(out, c.procSuccs(s, p)...)
-		}
-		if len(ps.buf) > 0 {
-			n := s.clone()
-			np := &n.procs[p]
-			e := np.buf[0]
-			np.buf = np.buf[1:]
-			n.mem[e.wrd] = e.val
-			b := &c.blocks[e.blk]
-			if m := n.subs[e.blk]; m != 0 {
-				snap := append([]uint64(nil), n.mem[b.base:b.base+len(b.words)]...)
-				for q := 0; q < c.nproc; q++ {
-					if m&(1<<uint(q)) != 0 {
-						n.props = append(n.props, prop{q, e.blk, snap})
-					}
-				}
+// retireStep emits the state where p's oldest buffered write performs at
+// memory, generating update propagations to the block's subscribers.
+func (c *compiled) retireStep(w *worker, s *mstate, p int, emit emitFn) {
+	ps := &s.procs[p]
+	e := s.buf[int(c.bufOff[p])+int(ps.bufLo)]
+	n := w.clone(s)
+	n.procs[p].bufLo++
+	n.mem[e.wrd] = e.val
+	b := &c.blocks[e.blk]
+	if m := n.subs[e.blk]; m != 0 {
+		var pr propm
+		pr.blk = e.blk
+		pr.n = int8(len(b.words))
+		copy(pr.vals[:len(b.words)], n.mem[b.base:b.base+len(b.words)])
+		for q := 0; q < c.nproc; q++ {
+			if m&(1<<uint(q)) != 0 {
+				pr.dst = int8(q)
+				n.props = append(n.props, pr)
 			}
-			c.unblockFlush(n, p)
-			out = append(out, succ{fmt.Sprintf("P%d's WRITE-GLOBAL %s = %d performs at memory", p, c.locName(Loc{b.id, b.words[e.wi]}), e.val), n})
+		}
+	}
+	c.unblockFlush(n, p)
+	emit(sdesc{kind: sdRetire, proc: int8(p), loc: Loc{Block: b.id, Word: b.words[e.wi]}, val: e.val}, n)
+}
+
+// propStep emits the state where in-flight propagation i is delivered:
+// its snapshot merges into the clean words of the destination's line if
+// present, and is dropped otherwise.
+func (c *compiled) propStep(w *worker, s *mstate, i int, emit emitFn) {
+	pr := s.props[i]
+	n := w.clone(s)
+	n.props = append(n.props[:i], n.props[i+1:]...)
+	li := c.li(int(pr.dst), 0, int(pr.blk))
+	variant := vDropped
+	if n.lineF[li]&lfPresent != 0 {
+		d := n.lineD[li]
+		v0 := c.lv(int(pr.dst), 0, int(pr.blk))
+		for wi := 0; wi < int(pr.n); wi++ {
+			if d&(1<<uint(wi)) == 0 {
+				n.lineV[v0+wi] = pr.vals[wi]
+			}
+		}
+		variant = vApplied
+	}
+	emit(sdesc{kind: sdProp, proc: pr.dst, variant: variant, aux: int32(c.blocks[pr.blk].id)}, n)
+}
+
+// unsubStep emits the state where in-flight unsubscription i reaches the
+// home node and clears the subscriber bit.
+func (c *compiled) unsubStep(w *worker, s *mstate, i int, emit emitFn) {
+	un := s.unsub[i]
+	n := w.clone(s)
+	n.unsub = append(n.unsub[:i], n.unsub[i+1:]...)
+	n.subs[un.blk] &^= 1 << uint(un.proc)
+	emit(sdesc{kind: sdUnsub, proc: un.proc, aux: int32(c.blocks[un.blk].id)}, n)
+}
+
+// expand emits every enabled transition of s in canonical order:
+// processor steps and buffer retires interleaved per proc, then
+// propagation deliveries, then unsubscriptions.
+func (c *compiled) expand(w *worker, s *mstate, emit emitFn) {
+	for p := 0; p < c.nproc; p++ {
+		ps := &s.procs[p]
+		if ps.status == stRun && int(ps.pc) < len(c.prog[p]) {
+			c.procStep(w, s, p, emit)
+		}
+		if ps.bufLo != ps.bufHi {
+			c.retireStep(w, s, p, emit)
 		}
 	}
 	for i := range s.props {
-		n := s.clone()
-		pr := n.props[i]
-		n.props = append(n.props[:i], n.props[i+1:]...)
-		ln := &n.procs[pr.dst].lines[pr.blk]
-		applied := "dropped, no copy"
-		if ln.present {
-			for wi := range pr.vals {
-				if !ln.dirty[wi] {
-					ln.vals[wi] = pr.vals[wi]
+		c.propStep(w, s, i, emit)
+	}
+	for i := range s.unsub {
+		c.unsubStep(w, s, i, emit)
+	}
+}
+
+// enabledCount counts the transitions expand would emit, without cloning.
+// Used for POR's Pruned accounting.
+func (c *compiled) enabledCount(s *mstate) int {
+	n := len(s.props) + len(s.unsub)
+	for p := 0; p < c.nproc; p++ {
+		ps := &s.procs[p]
+		if ps.bufLo != ps.bufHi {
+			n++
+		}
+		if ps.status == stRun && int(ps.pc) < len(c.prog[p]) {
+			n++
+			in := &c.prog[p][ps.pc]
+			if in.op == OpReadUpdate {
+				if f := s.lineF[c.li(p, 0, in.blk)]; f&lfPresent == 0 || f&lfUpdate == 0 {
+					for _, un := range s.unsub {
+						if int(un.proc) == p && int(un.blk) == in.blk {
+							n++
+							break
+						}
+					}
 				}
 			}
-			applied = "applied"
-		}
-		out = append(out, succ{fmt.Sprintf("update for block %d reaches P%d (%s)", c.blocks[pr.blk].id, pr.dst, applied), n})
-	}
-	for i := range s.unsubs {
-		n := s.clone()
-		un := n.unsubs[i]
-		n.unsubs = append(n.unsubs[:i], n.unsubs[i+1:]...)
-		n.subs[un.blk] &^= 1 << uint(un.proc)
-		out = append(out, succ{fmt.Sprintf("P%d's RESET-UPDATE for block %d reaches home", un.proc, c.blocks[un.blk].id), n})
-	}
-	return out
-}
-
-// quiescent reports whether the machine has finished cleanly: every
-// processor past its last instruction, buffers drained, no messages in
-// flight.
-func (c *compiled) quiescent(s *mstate) bool {
-	for p := range s.procs {
-		ps := &s.procs[p]
-		if ps.status != stRun || ps.pc < len(c.prog[p]) || len(ps.buf) > 0 {
-			return false
 		}
 	}
-	return len(s.props) == 0 && len(s.unsubs) == 0
-}
-
-func (c *compiled) outcome(s *mstate) Outcome {
-	o := Outcome{Regs: make([][]uint64, c.nproc)}
-	for p := range s.procs {
-		o.Regs[p] = append([]uint64(nil), s.procs[p].regs...)
-	}
-	for _, wrd := range c.observe {
-		o.Mem = append(o.Mem, s.mem[wrd])
-	}
-	return o
-}
-
-func (c *compiled) enumerate() (*Result, error) {
-	visited := map[string]struct{}{}
-	found := map[string]*Outcome{}
-	var path []string
-	states := 0
-	var dfs func(s *mstate) error
-	dfs = func(s *mstate) error {
-		key := c.encode(s)
-		if _, ok := visited[key]; ok {
-			return nil
-		}
-		visited[key] = struct{}{}
-		if states++; states > c.max {
-			return ErrStateLimit
-		}
-		succs := c.successors(s)
-		if len(succs) == 0 {
-			if !c.quiescent(s) {
-				return fmt.Errorf("bccheck: deadlock after: %s", strings.Join(path, "; "))
-			}
-			o := c.outcome(s)
-			k := o.Key()
-			if _, ok := found[k]; !ok {
-				o.Witness = append([]string(nil), path...)
-				found[k] = &o
-			}
-			return nil
-		}
-		for _, sc := range succs {
-			path = append(path, sc.label)
-			if err := dfs(sc.next); err != nil {
-				return err
-			}
-			path = path[:len(path)-1]
-		}
-		return nil
-	}
-	if err := dfs(c.initial()); err != nil {
-		return nil, err
-	}
-	res := &Result{States: states}
-	for _, o := range found {
-		res.Outcomes = append(res.Outcomes, *o)
-	}
-	sortOutcomes(res.Outcomes)
-	return res, nil
+	return n
 }

@@ -1,0 +1,105 @@
+package litmus
+
+// Differential regression for the exploration-engine overhaul: the
+// reduced, parallel engine must produce exactly the verdicts of the
+// old semantics — which survive as the POR-off serial configuration —
+// on the whole corpus plus a seeded batch of generated programs.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssmp/internal/bccheck"
+)
+
+// oldSemantics mirrors the pre-overhaul engine: full interleaving graph,
+// one worker.
+var oldSemantics = bccheck.Tuning{DisablePOR: true, Workers: 1}
+
+// diffOne enumerates t under both configurations and compares outcome
+// key sets. It returns false when the state limit truncated either run
+// (no verdict to compare).
+func diffOne(t *testing.T, lt *Test) bool {
+	t.Helper()
+	c, err := lt.compile()
+	if err != nil {
+		t.Fatalf("%s: compile: %v", lt.Name, err)
+	}
+	ref := c.opts
+	ref.Tuning = oldSemantics
+	want, err := bccheck.Enumerate(c.prog, ref)
+	if err != nil {
+		if errors.Is(err, bccheck.ErrStateLimit) {
+			return false
+		}
+		t.Fatalf("%s: reference enumerate: %v", lt.Name, err)
+	}
+	got, err := bccheck.Enumerate(c.prog, c.opts)
+	if err != nil {
+		if errors.Is(err, bccheck.ErrStateLimit) {
+			return false
+		}
+		t.Fatalf("%s: enumerate: %v", lt.Name, err)
+	}
+	if !reflect.DeepEqual(got.Keys(), want.Keys()) {
+		t.Errorf("%s: outcome sets differ\n new: %v\n old: %v", lt.Name, got.Keys(), want.Keys())
+	}
+	return true
+}
+
+// TestDifferentialCorpus runs the full embedded corpus through the old
+// semantics and the new engine and demands identical outcome sets and
+// identical allowed/forbidden verdicts.
+func TestDifferentialCorpus(t *testing.T) {
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lt := range tests {
+		if !diffOne(t, lt) {
+			t.Errorf("%s: corpus test hit the state limit", lt.Name)
+		}
+		// Verdicts, not just raw keys: the assertion machinery must agree.
+		oldRep, err := RunTuned(lt, Seeds(4), oldSemantics)
+		if err != nil {
+			t.Fatalf("%s: RunTuned(old): %v", lt.Name, err)
+		}
+		newRep, err := Run(lt, Seeds(4))
+		if err != nil {
+			t.Fatalf("%s: Run: %v", lt.Name, err)
+		}
+		if !reflect.DeepEqual(newRep.Allowed, oldRep.Allowed) {
+			t.Errorf("%s: allowed sets differ\n new: %v\n old: %v", lt.Name, newRep.Allowed, oldRep.Allowed)
+		}
+		if newRep.Ok() != oldRep.Ok() {
+			t.Errorf("%s: verdict differs: new ok=%v, old ok=%v", lt.Name, newRep.Ok(), oldRep.Ok())
+		}
+	}
+}
+
+// TestDifferentialFuzzed feeds ~200 seeded generator programs through
+// both configurations. Together with the corpus this is the regression
+// net for POR soundness and parallel-merge determinism.
+func TestDifferentialFuzzed(t *testing.T) {
+	count := 200
+	if testing.Short() {
+		count = 40
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	compared, limited := 0, 0
+	for i := 0; i < count; i++ {
+		lt := generate(rng, i)
+		if diffOne(t, lt) {
+			compared++
+		} else {
+			limited++
+		}
+	}
+	if compared < count/2 {
+		t.Errorf("only %d of %d generated programs were comparable (%d hit the state limit)",
+			compared, count, limited)
+	}
+	t.Logf("differential: %d compared, %d at state limit", compared, limited)
+}

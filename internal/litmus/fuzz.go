@@ -7,6 +7,7 @@ package litmus
 // reporting it.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,8 @@ type FuzzOptions struct {
 	Budget time.Duration
 	// Count is the number of candidates when Budget is zero (default 100).
 	Count int
+	// Tuning is passed through to the enumerator for every candidate.
+	Tuning bccheck.Tuning
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -47,6 +50,8 @@ type FuzzStats struct {
 	Tested int
 	// Skipped counts candidates abandoned at the enumerator state limit.
 	Skipped int
+	// States totals the abstract states enumerated across all candidates.
+	States int
 	// Elapsed is the wall-clock time spent.
 	Elapsed time.Duration
 	// Failure is the first violation found (after shrinking), nil if the
@@ -54,11 +59,23 @@ type FuzzStats struct {
 	Failure *FuzzFailure
 }
 
-// Fuzz runs the generator until the budget or count is exhausted, or a
-// violation is found. A violation means the simulator produced an outcome
-// the axiomatic model forbids — a soundness bug in machine or model — so
-// the run stops and returns it shrunk.
-func Fuzz(o FuzzOptions) (*FuzzStats, error) {
+// Rates renders the run's throughput (programs/sec, states/sec).
+func (st *FuzzStats) Rates() string {
+	secs := st.Elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return fmt.Sprintf("%.1f programs/sec, %.0f states/sec",
+		float64(st.Tested+st.Skipped)/secs, float64(st.States)/secs)
+}
+
+// Fuzz runs the generator until the budget or count is exhausted, the
+// context is cancelled, or a violation is found. Cancellation is checked
+// between candidates and stops the run cleanly (no error, stats reflect
+// work done). A violation means the simulator produced an outcome the
+// axiomatic model forbids — a soundness bug in machine or model — so the
+// run stops and returns it shrunk.
+func Fuzz(ctx context.Context, o FuzzOptions) (*FuzzStats, error) {
 	seeds := o.Seeds
 	if len(seeds) == 0 {
 		seeds = Seeds(16)
@@ -74,9 +91,17 @@ func Fuzz(o FuzzOptions) (*FuzzStats, error) {
 	rng := rand.New(rand.NewSource(int64(o.Rng)))
 	start := time.Now()
 	st := &FuzzStats{}
-	defer func() { st.Elapsed = time.Since(start) }()
+	defer func() {
+		st.Elapsed = time.Since(start)
+		logf("fuzz: done: %d tested, %d skipped, %s elapsed, %s",
+			st.Tested, st.Skipped, st.Elapsed.Round(time.Millisecond), st.Rates())
+	}()
 
 	for i := 0; ; i++ {
+		if ctx.Err() != nil {
+			logf("fuzz: cancelled after %d candidates", st.Tested+st.Skipped)
+			break
+		}
 		if o.Budget > 0 {
 			if time.Since(start) >= o.Budget {
 				break
@@ -85,7 +110,7 @@ func Fuzz(o FuzzOptions) (*FuzzStats, error) {
 			break
 		}
 		t := generate(rng, i)
-		rep, err := Run(t, seeds)
+		rep, err := RunTuned(t, seeds, o.Tuning)
 		if err != nil {
 			if errors.Is(err, bccheck.ErrStateLimit) {
 				st.Skipped++
@@ -94,6 +119,7 @@ func Fuzz(o FuzzOptions) (*FuzzStats, error) {
 			return st, fmt.Errorf("fuzz candidate %d: %w", i, err)
 		}
 		st.Tested++
+		st.States += rep.States
 		if st.Tested%50 == 0 {
 			logf("fuzz: %d tested, %d skipped, %s elapsed", st.Tested, st.Skipped, time.Since(start).Round(time.Millisecond))
 		}
@@ -102,10 +128,10 @@ func Fuzz(o FuzzOptions) (*FuzzStats, error) {
 		}
 		logf("fuzz: candidate %d VIOLATES (%d outcomes outside allowed set), shrinking", i, len(rep.Violations))
 		shrunk := shrink(t, func(c *Test) bool {
-			r, err := Run(c, seeds)
+			r, err := RunTuned(c, seeds, o.Tuning)
 			return err == nil && len(r.Violations) > 0
 		})
-		srep, err := Run(shrunk, seeds)
+		srep, err := RunTuned(shrunk, seeds, o.Tuning)
 		if err != nil {
 			return st, fmt.Errorf("fuzz: re-running shrunk candidate: %w", err)
 		}

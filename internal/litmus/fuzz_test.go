@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestFuzzSmoke(t *testing.T) {
 	if testing.Short() {
 		count = 15
 	}
-	st, err := Fuzz(FuzzOptions{Rng: 1, Count: count, Seeds: Seeds(8), Log: t.Logf})
+	st, err := Fuzz(context.Background(), FuzzOptions{Rng: 1, Count: count, Seeds: Seeds(8), Log: t.Logf})
 	if err != nil {
 		t.Fatalf("fuzz: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestFuzzSmoke(t *testing.T) {
 // TestFuzzBudgetStops bounds a budgeted run's wall clock.
 func TestFuzzBudgetStops(t *testing.T) {
 	start := time.Now()
-	st, err := Fuzz(FuzzOptions{Rng: 2, Budget: 200 * time.Millisecond, Seeds: Seeds(4)})
+	st, err := Fuzz(context.Background(), FuzzOptions{Rng: 2, Budget: 200 * time.Millisecond, Seeds: Seeds(4)})
 	if err != nil {
 		t.Fatalf("fuzz: %v", err)
 	}
@@ -53,6 +54,23 @@ func TestFuzzBudgetStops(t *testing.T) {
 	}
 	if el := time.Since(start); el > 5*time.Second {
 		t.Fatalf("budgeted fuzz ran %s", el)
+	}
+}
+
+// TestFuzzCancelStops checks that a cancelled context stops the run
+// cleanly between candidates: no error, and stats reflect the truncation.
+func TestFuzzCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Fuzz(ctx, FuzzOptions{Rng: 3, Count: 1000, Seeds: Seeds(4)})
+	if err != nil {
+		t.Fatalf("cancelled fuzz returned error: %v", err)
+	}
+	if st.Tested+st.Skipped != 0 {
+		t.Fatalf("pre-cancelled fuzz still ran %d candidates", st.Tested+st.Skipped)
+	}
+	if st.Rates() == "" {
+		t.Fatal("Rates() empty")
 	}
 }
 

@@ -339,7 +339,9 @@ func (t *Test) Enumerate() (allowed map[string][]string, states int, err error) 
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := bccheck.Enumerate(c.prog, c.opts)
+	opts := c.opts
+	opts.Witnesses = true
+	res, err := bccheck.Enumerate(c.prog, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("litmus %s: %w", t.Name, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ssmp/internal/bccheck"
 	"ssmp/internal/core"
@@ -127,6 +128,10 @@ type Report struct {
 	Coverage float64 `json:"coverage"`
 	// States is the number of abstract states the enumerator visited.
 	States int `json:"states"`
+	// Pruned is the number of transitions partial-order reduction skipped.
+	Pruned int `json:"pruned,omitempty"`
+	// EnumNS is the wall-clock nanoseconds spent in the enumerator.
+	EnumNS int64 `json:"enum_ns"`
 	// Seeds is how many jitter seeds were swept.
 	Seeds int `json:"seeds"`
 }
@@ -160,16 +165,26 @@ func Seeds(n int) []uint64 {
 // observed ⊆ allowed plus the test's own must_allow/must_forbid
 // assertions.
 func Run(t *Test, seeds []uint64) (*Report, error) {
+	return RunTuned(t, seeds, bccheck.Tuning{})
+}
+
+// RunTuned is Run with explicit exploration-engine tuning (POR off,
+// forced worker count). Tuning never changes verdicts, only cost.
+func RunTuned(t *Test, seeds []uint64, tune bccheck.Tuning) (*Report, error) {
 	c, err := t.compile()
 	if err != nil {
 		return nil, err
 	}
-	res, err := bccheck.Enumerate(c.prog, c.opts)
+	opts := c.opts
+	opts.Tuning = tune
+	enumStart := time.Now()
+	res, err := bccheck.Enumerate(c.prog, opts)
 	if err != nil {
 		return nil, fmt.Errorf("litmus %s: %w", t.Name, err)
 	}
 	allowed := map[string]bool{}
-	r := &Report{Name: t.Name, Observed: map[string][]uint64{}, States: res.States, Seeds: len(seeds)}
+	r := &Report{Name: t.Name, Observed: map[string][]uint64{}, States: res.States,
+		Pruned: res.Pruned, EnumNS: int64(time.Since(enumStart)), Seeds: len(seeds)}
 	for _, o := range res.Outcomes {
 		key := c.format(o)
 		allowed[key] = true

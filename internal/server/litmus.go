@@ -92,11 +92,22 @@ func (s *Server) handleLitmusPost(w http.ResponseWriter, r *http.Request) {
 
 	started := time.Now()
 	res, cached, status, err := s.execute(ctx, key, func(ctx context.Context) (any, error) {
-		return req.LitmusSpec.run(ctx)
+		rep, err := req.LitmusSpec.run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.litmusExecuted.Add(1)
+		s.litmusStates.Add(uint64(rep.States))
+		s.litmusBusyNS.Add(rep.EnumNS)
+		return rep, nil
 	})
 	if err != nil {
 		s.jobError(w, r, status, key, err)
 		return
+	}
+	s.litmusJobs.Add(1)
+	if cached {
+		s.litmusCacheHits.Add(1)
 	}
 	s.logf("ssmpd: litmus %s cached=%v elapsed=%s", key[:22], cached, time.Since(started))
 	writeJSON(w, http.StatusOK, JobResponse{

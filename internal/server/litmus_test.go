@@ -61,6 +61,32 @@ func TestLitmusEndpoint(t *testing.T) {
 	if jr2.Key != jr.Key || !jr2.Cached {
 		t.Fatalf("expected cache hit under %s, got key %s cached=%v", jr.Key, jr2.Key, jr2.Cached)
 	}
+
+	// The metrics endpoint accounts for both requests: one executed job,
+	// one cache hit, and a nonzero states/sec figure from the engine.
+	resp, body = getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d: %s", resp.StatusCode, body)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	if snap.Litmus.Jobs != 2 {
+		t.Errorf("litmus.jobs = %d, want 2", snap.Litmus.Jobs)
+	}
+	if snap.Litmus.Executed != 1 {
+		t.Errorf("litmus.executed = %d, want 1", snap.Litmus.Executed)
+	}
+	if snap.Litmus.CacheHits != 1 {
+		t.Errorf("litmus.cache_hits = %d, want 1", snap.Litmus.CacheHits)
+	}
+	if snap.Litmus.StatesTotal == 0 || snap.Litmus.StatesTotal != uint64(jr.Result.States) {
+		t.Errorf("litmus.states_total = %d, want %d", snap.Litmus.StatesTotal, jr.Result.States)
+	}
+	if snap.Litmus.StatesPerWallSecond <= 0 {
+		t.Errorf("litmus.states_per_wall_second = %v, want > 0", snap.Litmus.StatesPerWallSecond)
+	}
 }
 
 func TestLitmusInlineTest(t *testing.T) {

@@ -97,6 +97,15 @@ type Server struct {
 	jobAllocs   atomic.Uint64
 	jobsSampled atomic.Uint64
 
+	// Litmus-endpoint observability. litmusStates and litmusBusyNS cover
+	// executed (non-cached) litmus jobs only, so their quotient is the
+	// exploration engine's states-per-wall-second as this daemon sees it.
+	litmusJobs      atomic.Uint64
+	litmusCacheHits atomic.Uint64
+	litmusExecuted  atomic.Uint64
+	litmusStates    atomic.Uint64
+	litmusBusyNS    atomic.Int64
+
 	statsMu sync.Mutex
 	latency metrics.Histogram // wall milliseconds per executed job
 	msgs    metrics.Collector // simulated messages, aggregated over runs
@@ -475,6 +484,22 @@ type MetricsSnapshot struct {
 		// per executed job (approximate when jobs overlap).
 		MeanJobAllocs float64 `json:"mean_job_allocs"`
 	} `json:"sim"`
+	// Litmus summarizes the /v1/litmus endpoint and its exploration
+	// engine.
+	Litmus struct {
+		// Jobs counts litmus requests resolved (cache hits included).
+		Jobs uint64 `json:"jobs"`
+		// Executed counts jobs that ran the checker (cache misses).
+		Executed uint64 `json:"executed"`
+		// CacheHits counts jobs served from the result cache.
+		CacheHits uint64 `json:"cache_hits"`
+		// StatesTotal is the number of abstract states enumerated.
+		StatesTotal uint64 `json:"states_total"`
+		// EnumBusyWallS is wall-clock time spent in the enumerator.
+		EnumBusyWallS float64 `json:"enum_busy_wall_s"`
+		// StatesPerWallSecond is the engine's aggregate throughput.
+		StatesPerWallSecond float64 `json:"states_per_wall_second"`
+	} `json:"litmus"`
 	// LatencyMS is the executed-job wall-time histogram
 	// (metrics.Histogram's JSON form; cache hits are not samples).
 	LatencyMS json.RawMessage `json:"latency_ms"`
@@ -504,6 +529,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Sim.JobsSampled = s.jobsSampled.Load()
 	if n := snap.Sim.JobsSampled; n > 0 {
 		snap.Sim.MeanJobAllocs = float64(s.jobAllocs.Load()) / float64(n)
+	}
+	snap.Litmus.Jobs = s.litmusJobs.Load()
+	snap.Litmus.Executed = s.litmusExecuted.Load()
+	snap.Litmus.CacheHits = s.litmusCacheHits.Load()
+	snap.Litmus.StatesTotal = s.litmusStates.Load()
+	snap.Litmus.EnumBusyWallS = float64(s.litmusBusyNS.Load()) / float64(time.Second)
+	if snap.Litmus.EnumBusyWallS > 0 {
+		snap.Litmus.StatesPerWallSecond = float64(snap.Litmus.StatesTotal) / snap.Litmus.EnumBusyWallS
 	}
 
 	s.statsMu.Lock()
