@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke litmus serve clean
+.PHONY: build test race vet bench bench-json bench-smoke litmus chaos cover serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -43,6 +43,19 @@ bench-smoke:
 litmus:
 	$(GO) test -race -run 'TestCorpus|TestFuzz|TestShrink' ./internal/litmus/
 	$(GO) run ./cmd/ssmplitmus fuzz -budget 30s
+
+# Chaos soak: fault-plane and reliable-transport unit tests under the race
+# detector, then the litmus corpus swept across fault seeds — each run's
+# fabric drops, duplicates and delays messages (seeded, deterministic) and
+# every observed outcome must still be axiomatically allowed.
+chaos:
+	$(GO) test -race -run 'TestFault|TestTransport|TestChaos' \
+		./internal/network/ ./internal/fabric/ ./internal/core/ ./internal/litmus/ ./internal/server/
+	$(GO) run ./cmd/ssmplitmus run -faults -seeds 32
+
+# Per-package statement coverage.
+cover:
+	$(GO) test -cover ./...
 
 serve: build
 	$(GO) run ./cmd/ssmpd -addr :8080

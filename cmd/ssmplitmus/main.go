@@ -8,6 +8,7 @@
 //
 //	ssmplitmus list
 //	ssmplitmus run [-seeds 64] [-v] [name ...]
+//	ssmplitmus run -faults [-drop 0.03] [-dup 0.03] [-delay 0.1] [-delay-max 16] [name ...]
 //	ssmplitmus show name
 //	ssmplitmus explain [-seeds 64] name outcome
 //	ssmplitmus fuzz [-budget 30s | -n 100] [-rng 1] [-seeds 16]
@@ -25,6 +26,8 @@ import (
 
 	"ssmp/internal/bccheck"
 	"ssmp/internal/litmus"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
 )
 
 // tuningFlags registers the exploration-engine knobs shared by run,
@@ -75,6 +78,8 @@ func usage() {
   ssmplitmus list                              list the embedded corpus
   ssmplitmus run [-seeds N] [-v] [-por on|off] [-workers N] [name ...]
                                                cross-validate tests (default: all)
+  ssmplitmus run -faults [-drop P] [-dup P] [-delay P] [-delay-max N] [name ...]
+                                               chaos sweep: same check under fault injection
   ssmplitmus show name                         print a corpus test's JSON
   ssmplitmus explain [-seeds N] name outcome   show the execution graph of a run producing outcome
   ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N] [-por on|off] [-workers N]
@@ -97,11 +102,21 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seeds := fs.Int("seeds", 64, "jitter seeds to sweep per test")
 	verbose := fs.Bool("v", false, "print each test's allowed and observed outcomes")
+	defRates := litmus.DefaultChaosRates()
+	faults := fs.Bool("faults", false, "inject interconnect faults (chaos sweep); seeds double as fault seeds")
+	drop := fs.Float64("drop", defRates.Drop, "per-message drop probability (with -faults)")
+	dup := fs.Float64("dup", defRates.Dup, "per-message duplicate probability (with -faults)")
+	delay := fs.Float64("delay", defRates.Delay, "per-message delay probability (with -faults)")
+	delayMax := fs.Int("delay-max", 0, "max injected delay in cycles (0 = default, with -faults)")
 	tuning := tuningFlags(fs)
 	_ = fs.Parse(args)
 	tune, err := tuning()
 	if err != nil {
 		return err
+	}
+	chaos := litmus.ChaosConfig{
+		Rates:    network.FaultRates{Drop: *drop, Dup: *dup, Delay: *delay},
+		DelayMax: sim.Time(*delayMax),
 	}
 
 	var tests []*litmus.Test
@@ -122,7 +137,12 @@ func cmdRun(args []string) error {
 
 	failures := 0
 	for _, t := range tests {
-		rep, err := litmus.RunTuned(t, litmus.Seeds(*seeds), tune)
+		var rep *litmus.Report
+		if *faults {
+			rep, err = litmus.RunChaos(t, litmus.ChaosSeeds(*seeds), chaos)
+		} else {
+			rep, err = litmus.RunTuned(t, litmus.Seeds(*seeds), tune)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", t.Name, err)
 		}

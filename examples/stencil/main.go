@@ -62,7 +62,9 @@ func reference() []float64 {
 	return cur
 }
 
-func main() {
+// runParallel executes the stencil on the simulated machine and returns the
+// per-processor final strips plus the run metrics.
+func runParallel() ([][]float64, ssmp.Result, error) {
 	cfg := ssmp.DefaultConfig(nodes)
 	m := ssmp.NewMachine(cfg)
 
@@ -129,19 +131,28 @@ func main() {
 	}
 
 	res, err := m.Run(progs)
-	if err != nil {
-		log.Fatal(err)
-	}
+	return results, res, err
+}
 
-	ref := reference()
+// maxDeviation returns the worst |parallel - reference| over all cells.
+func maxDeviation(results [][]float64, ref []float64) float64 {
 	worst := 0.0
-	for pid := 0; pid < nodes; pid++ {
+	for pid := range results {
 		for i, v := range results[pid] {
 			if d := math.Abs(v - ref[pid*cellsPer+i]); d > worst {
 				worst = d
 			}
 		}
 	}
+	return worst
+}
+
+func main() {
+	results, res, err := runParallel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := maxDeviation(results, reference())
 
 	fmt.Printf("%d cells on %d processors, %d iterations\n", totalCell, nodes, iters)
 	fmt.Printf("cycles: %d   messages: %d   utilization: %.0f%%\n",

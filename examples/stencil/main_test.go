@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStencilMatchesReference runs the parallel stencil on the simulated
+// machine and checks it against the sequential reference: both execute the
+// same arithmetic in the same per-cell order, so agreement must be exact.
+func TestStencilMatchesReference(t *testing.T) {
+	results, res, err := runParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != nodes {
+		t.Fatalf("got %d strips, want %d", len(results), nodes)
+	}
+	if worst := maxDeviation(results, reference()); worst != 0 {
+		t.Fatalf("parallel result deviates from reference by %g (boundary exchange broken)", worst)
+	}
+	if res.Cycles == 0 || res.Messages == 0 {
+		t.Fatalf("implausible run metrics: %+v", res)
+	}
+}
+
+// TestStencilConverges checks the physics: diffusion with absorbing edges
+// smooths and dissipates the field, so the hot spot's peak must shrink and
+// no cell may exceed the initial maximum.
+func TestStencilConverges(t *testing.T) {
+	initMax := 0.0
+	for i := 0; i < totalCell; i++ {
+		if v := math.Abs(initial(i)); v > initMax {
+			initMax = v
+		}
+	}
+	final := reference()
+	finalMax := 0.0
+	for _, v := range final {
+		if a := math.Abs(v); a > finalMax {
+			finalMax = a
+		}
+	}
+	if finalMax >= initMax {
+		t.Fatalf("field grew: max |cell| %g -> %g", initMax, finalMax)
+	}
+	// The spike at the midpoint must have spread into its neighbourhood.
+	mid := totalCell / 2
+	if final[mid] >= initial(mid)/2 {
+		t.Fatalf("hot spot did not diffuse: %g -> %g", initial(mid), final[mid])
+	}
+	for _, off := range []int{-2, -1, 1, 2} {
+		if final[mid+off] <= initial(mid+off) {
+			t.Fatalf("neighbour %+d did not warm: %g -> %g", off, initial(mid+off), final[mid+off])
+		}
+	}
+}

@@ -16,6 +16,41 @@ import (
 	"ssmp"
 )
 
+// scheme is one synchronization configuration under comparison.
+type scheme struct {
+	name    string
+	proto   ssmp.Protocol
+	backoff bool
+}
+
+// schemes returns the three lock implementations the paper compares.
+func schemes() []scheme {
+	return []scheme{
+		{"Q-CBL", ssmp.ProtoCBL, false},
+		{"Q-WBI", ssmp.ProtoWBI, false},
+		{"Q-backoff", ssmp.ProtoWBI, true},
+	}
+}
+
+// runScheme executes the work-queue model under one scheme and returns the
+// run metrics plus the queue's task accounting.
+func runScheme(c scheme, n, tasks, grain int, spawnProb float64, seed uint64) (ssmp.Result, *ssmp.QueueStats, error) {
+	cfg := ssmp.DefaultConfig(n)
+	cfg.Protocol = c.proto
+	p := ssmp.DefaultWorkloadParams()
+	p.Grain = grain
+	layout := ssmp.NewLayout(cfg, p)
+	var kit ssmp.SyncKit
+	if c.proto == ssmp.ProtoCBL {
+		kit = ssmp.CBLKit(layout, n)
+	} else {
+		kit = ssmp.WBIKit(layout, n, c.backoff)
+	}
+	progs, stats := ssmp.WorkQueue(n, tasks, spawnProb, p, layout, kit, seed)
+	res, err := ssmp.NewMachine(cfg).Run(progs)
+	return res, stats, err
+}
+
 func main() {
 	procsFlag := flag.String("procs", "2,4,8,16", "comma-separated processor counts")
 	tasks := flag.Int("tasks", 64, "initial tasks in the queue")
@@ -32,16 +67,7 @@ func main() {
 		procs = append(procs, n)
 	}
 
-	type config struct {
-		name    string
-		proto   ssmp.Protocol
-		backoff bool
-	}
-	configs := []config{
-		{"Q-CBL", ssmp.ProtoCBL, false},
-		{"Q-WBI", ssmp.ProtoWBI, false},
-		{"Q-backoff", ssmp.ProtoWBI, true},
-	}
+	configs := schemes()
 
 	fmt.Printf("work-queue model: %d tasks, grain %d refs/task\n\n", *tasks, *grain)
 	fmt.Printf("%-8s", "procs")
@@ -53,19 +79,7 @@ func main() {
 	for _, n := range procs {
 		fmt.Printf("%-8d", n)
 		for _, c := range configs {
-			cfg := ssmp.DefaultConfig(n)
-			cfg.Protocol = c.proto
-			p := ssmp.DefaultWorkloadParams()
-			p.Grain = *grain
-			layout := ssmp.NewLayout(cfg, p)
-			var kit ssmp.SyncKit
-			if c.proto == ssmp.ProtoCBL {
-				kit = ssmp.CBLKit(layout, n)
-			} else {
-				kit = ssmp.WBIKit(layout, n, c.backoff)
-			}
-			progs, stats := ssmp.WorkQueue(n, *tasks, 0.2, p, layout, kit, *seed)
-			res, err := ssmp.NewMachine(cfg).Run(progs)
+			res, stats, err := runScheme(c, n, *tasks, *grain, 0.2, *seed)
 			if err != nil {
 				log.Fatalf("%s procs=%d: %v", c.name, n, err)
 			}

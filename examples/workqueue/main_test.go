@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+// TestWorkQueueAccounting runs every scheme and checks the queue's item
+// accounting: exactly the initial tasks plus every spawned task execute,
+// no item is lost or double-counted, and the run completes.
+func TestWorkQueueAccounting(t *testing.T) {
+	const (
+		n     = 4
+		tasks = 16
+		grain = 32
+		seed  = 7
+	)
+	for _, c := range schemes() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, stats, err := runScheme(c, n, tasks, grain, 0.2, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.TasksExecuted != tasks+stats.Spawned {
+				t.Fatalf("executed %d tasks, want %d initial + %d spawned",
+					stats.TasksExecuted, tasks, stats.Spawned)
+			}
+			if res.Cycles == 0 || res.Messages == 0 {
+				t.Fatalf("implausible run metrics: %+v", res)
+			}
+		})
+	}
+}
+
+// TestWorkQueueNoSpawn pins the accounting corner case: with spawning off,
+// exactly the initial tasks run.
+func TestWorkQueueNoSpawn(t *testing.T) {
+	_, stats, err := runScheme(schemes()[0], 2, 8, 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spawned != 0 {
+		t.Fatalf("spawned %d tasks with spawnProb=0", stats.Spawned)
+	}
+	if stats.TasksExecuted != 8 {
+		t.Fatalf("executed %d tasks, want 8", stats.TasksExecuted)
+	}
+}
+
+// TestWorkQueueDeterministic pins seed-stability: the same seed must give
+// the same cycle count and the same spawn decisions on every run.
+func TestWorkQueueDeterministic(t *testing.T) {
+	r1, s1, err := runScheme(schemes()[0], 4, 16, 32, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := runScheme(schemes()[0], 4, 16, 32, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || s1.Spawned != s2.Spawned {
+		t.Fatalf("same seed diverged: %d/%d cycles, %d/%d spawned",
+			r1.Cycles, r2.Cycles, s1.Spawned, s2.Spawned)
+	}
+}

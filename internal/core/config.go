@@ -117,6 +117,17 @@ type Config struct {
 	// default) disables it, keeping runs bit-identical to the canonical
 	// (time, insertion order) schedule. Any nonzero seed is deterministic.
 	Jitter uint64
+	// Faults parameterizes the interconnect's deterministic fault plane
+	// (seeded per-link drop/duplicate/delay; network.FaultConfig). When
+	// enabled, the fabric's reliable transport is enabled with it —
+	// request timeouts, bounded-exponential-backoff retransmission,
+	// duplicate suppression, per-link FIFO reassembly — so the protocol
+	// survives the misbehaving fabric. Seed 0 (the default) disables both,
+	// keeping runs bit-identical to the fault-free machine.
+	Faults network.FaultConfig
+	// FaultRTO overrides the transport's retry timing when Faults is
+	// enabled; zero fields take fabric.DefaultTransportConfig.
+	FaultRTO fabric.TransportConfig
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 4):
@@ -157,6 +168,9 @@ func (c Config) Validate() error {
 	if c.Horizon == 0 {
 		return fmt.Errorf("core: Horizon must be positive")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -169,5 +183,6 @@ func (c Config) netConfig() network.Config {
 		Ideal:       c.IdealNetwork,
 		DanceHall:   c.DanceHall,
 		Topology:    c.Topology,
+		Faults:      c.Faults,
 	}
 }

@@ -69,6 +69,12 @@ func NewMachine(cfg Config) *Machine {
 	}
 	nw := network.New(eng, cfg.netConfig())
 	fab := fabric.New(eng, nw, cfg.Timing)
+	if nw.FaultsEnabled() {
+		// A faulty fabric needs the reliable transport above it; the two
+		// are enabled together so the protocol controllers always see
+		// exactly-once, per-link-FIFO delivery.
+		fab.EnableTransport(cfg.FaultRTO)
+	}
 	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}
 	m := &Machine{cfg: cfg, eng: eng, net: nw, fab: fab, geom: geom}
 
@@ -94,7 +100,7 @@ func NewMachine(cfg Config) *Machine {
 		n.proc = newProc(m, n)
 		m.nodes = append(m.nodes, n)
 		i := i
-		nw.Attach(i, func(p any) { m.dispatch(i, p.(*msg.Msg)) })
+		fab.Attach(i, func(mg *msg.Msg) { m.dispatch(i, mg) })
 	}
 	return m
 }
@@ -204,6 +210,9 @@ type Result struct {
 	// MeanUtilization averages the per-processor useful-computation
 	// fraction (see ProcStats.Utilization) over processors that ran.
 	MeanUtilization float64
+	// Faults reports fault injection and transport recovery counters
+	// (all zero when Config.Faults is disabled).
+	Faults metrics.FaultCounters
 }
 
 // ErrDeadlock is returned when the event queue drains with processors still
@@ -303,6 +312,7 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		Messages:        m.fab.Coll.Total(),
 		MeanNetLatency:  st.MeanLatency(),
 		MeanNetQueueing: st.MeanQueueing(),
+		Faults:          m.fab.FaultCounters(),
 	}
 	if utilN > 0 {
 		res.MeanUtilization = utilSum / float64(utilN)

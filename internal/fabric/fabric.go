@@ -40,6 +40,9 @@ type Fabric struct {
 	// OnSend, when set, observes every message at injection time (message
 	// tracing / debugging). It must not mutate the message.
 	OnSend func(*msg.Msg)
+	// xp is the reliable transport, enabled alongside the network's fault
+	// plane (see transport.go); nil otherwise.
+	xp *transport
 }
 
 // New builds a fabric over an engine and network.
@@ -48,13 +51,36 @@ func New(eng *sim.Engine, net *network.Network, t Timing) *Fabric {
 }
 
 // Send counts and transmits a message. The message's Words() determine its
-// network occupancy.
+// network occupancy. With the reliable transport enabled, the message is
+// tracked for acknowledgment and retransmission before injection.
 func (f *Fabric) Send(m *msg.Msg) {
+	if f.xp != nil && m.Kind != msg.NetAck && !f.Net.LocalBypass(m.Src, m.Dst) {
+		f.xp.track(m)
+	}
+	f.sendRaw(m)
+}
+
+// sendRaw counts and injects without transport tracking: first
+// transmissions, retransmissions (each is real traffic and counts as such),
+// and acks all pass through here.
+func (f *Fabric) sendRaw(m *msg.Msg) {
 	f.Coll.Count(m.Kind)
 	if f.OnSend != nil {
 		f.OnSend(m)
 	}
 	f.Net.Send(m.Src, m.Dst, m.Words(), m)
+}
+
+// Attach registers node's protocol dispatch with the network, interposing
+// the reliable transport when it is enabled. Components that attach through
+// the fabric get exactly-once, per-link-FIFO delivery whether or not the
+// fault plane is active.
+func (f *Fabric) Attach(node int, h func(*msg.Msg)) {
+	if f.xp == nil {
+		f.Net.Attach(node, func(p any) { h(p.(*msg.Msg)) })
+		return
+	}
+	f.Net.Attach(node, func(p any) { f.xp.receive(node, p.(*msg.Msg), h) })
 }
 
 // Station is a per-node message-processing front end: incoming messages are

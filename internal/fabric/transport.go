@@ -1,0 +1,247 @@
+package fabric
+
+// The reliable transport: the protocol-level recovery machinery that makes
+// the machine survive the interconnect fault plane (network.Config.Faults).
+//
+// The coherence and lock protocols above the fabric assume the network
+// delivers every message exactly once and, per ordered (src, dst) pair, in
+// injection order — both properties the fault-free network provides (a
+// link's messages serialize through the same port chain) and the fault
+// plane deliberately breaks. Rather than teaching every directory, RUC
+// subscriber-list, and CBL waiter-queue handler to tolerate loss,
+// duplication, and reordering individually — a per-handler audit that would
+// have to be redone for every new message kind — the fabric restores
+// exactly-once, per-link FIFO delivery underneath all of them, the way a
+// real machine's network interface does:
+//
+//   - every protocol message carries a per-link sequence number (Msg.XSeq);
+//   - the receiver acknowledges each arrival with a NetAck (fire-and-forget,
+//     itself subject to faults);
+//   - the sender retransmits unacknowledged messages on a timeout with
+//     bounded exponential backoff (RTO doubling up to RTOMax; attempts are
+//     unbounded — with drop probability < 1 delivery is almost-surely
+//     eventual, and the machine's horizon guards the pathological case);
+//   - the receiver delivers ls == expected immediately, suppresses
+//     ls < expected as an already-delivered duplicate (re-acking it, which
+//     repairs a lost ack), and holds back ls > expected until the gap
+//     fills, restoring FIFO.
+//
+// Duplicate suppression is what keeps duplicated directory, RUC-propagation
+// and CBL-grant messages from corrupting subscriber and waiter lists: a
+// second UpdateProp or LockGrant never reaches the controller at all.
+//
+// Determinism: timers are simulation events, sequence numbers are assigned
+// in injection order, and the fault plane is seeded — so a (config, fault
+// seed) pair names one exact execution, reproducible bit-for-bit.
+
+import (
+	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+	"ssmp/internal/msg"
+	"ssmp/internal/sim"
+)
+
+// TransportConfig parameterizes the reliable transport.
+type TransportConfig struct {
+	// RTO is the initial retransmit timeout in cycles. It should exceed a
+	// loaded round trip (network transit + directory queueing + the ack's
+	// return transit); too small merely costs spurious retransmissions,
+	// which duplicate suppression absorbs.
+	RTO sim.Time
+	// RTOMax caps the exponential backoff.
+	RTOMax sim.Time
+}
+
+// DefaultTransportConfig returns the retry parameters used when the fault
+// plane is enabled: an RTO of 64 cycles (several uncontended round trips at
+// Table 4 timings) backing off to 1024.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{RTO: 64, RTOMax: 1024}
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	d := DefaultTransportConfig()
+	if c.RTO == 0 {
+		c.RTO = d.RTO
+	}
+	if c.RTOMax < c.RTO {
+		c.RTOMax = max(c.RTO, d.RTOMax)
+	}
+	return c
+}
+
+// pendKey identifies an unacknowledged message: its link and sequence.
+type pendKey struct {
+	link int // src*nodes + dst
+	ls   uint64
+}
+
+// outstanding is one transport-tracked message awaiting its ack.
+type outstanding struct {
+	m     *msg.Msg
+	rto   sim.Time
+	timer sim.Handle
+}
+
+// transport is the per-fabric reliable-delivery state.
+type transport struct {
+	f   *Fabric
+	cfg TransportConfig
+	n   int
+
+	nextLS  []uint64 // sender: last sequence issued per link
+	expect  []uint64 // receiver: last sequence delivered per link
+	hold    []map[uint64]*msg.Msg
+	pending map[pendKey]*outstanding
+
+	retries       uint64
+	dupSuppressed uint64
+	reordered     uint64
+	acksSent      uint64
+}
+
+// EnableTransport activates the reliable transport. It must be called
+// before any Attach or Send. A zero config field takes its default.
+func (f *Fabric) EnableTransport(cfg TransportConfig) {
+	n := f.Net.Nodes()
+	f.xp = &transport{
+		f:       f,
+		cfg:     cfg.withDefaults(),
+		n:       n,
+		nextLS:  make([]uint64, n*n),
+		expect:  make([]uint64, n*n),
+		hold:    make([]map[uint64]*msg.Msg, n*n),
+		pending: make(map[pendKey]*outstanding),
+	}
+}
+
+// TransportStats reports the transport's recovery counters (zero when the
+// transport is disabled).
+func (f *Fabric) TransportStats() (retries, dupSuppressed, reordered, acksSent uint64) {
+	if f.xp == nil {
+		return 0, 0, 0, 0
+	}
+	return f.xp.retries, f.xp.dupSuppressed, f.xp.reordered, f.xp.acksSent
+}
+
+// FaultCounters combines the network's injection counters with the
+// transport's recovery counters into the shared metrics form.
+func (f *Fabric) FaultCounters() metrics.FaultCounters {
+	fs := f.Net.Stats().Faults
+	c := metrics.FaultCounters{
+		Dropped:     fs.Dropped,
+		Duplicated:  fs.Duplicated,
+		Delayed:     fs.Delayed,
+		DelayCycles: uint64(fs.DelayCycles),
+	}
+	c.Retries, c.DupSuppressed, c.Reordered, c.AcksSent = f.TransportStats()
+	return c
+}
+
+// track assigns m its per-link sequence number and arms the retransmit
+// timer. Node-local bypass messages are exempt: they cannot be faulted.
+func (t *transport) track(m *msg.Msg) {
+	li := m.Src*t.n + m.Dst
+	t.nextLS[li]++
+	m.XSeq = t.nextLS[li]
+	o := &outstanding{m: m, rto: t.cfg.RTO}
+	k := pendKey{li, m.XSeq}
+	t.pending[k] = o
+	o.timer = t.f.Eng.After(o.rto, func() { t.retransmit(k) })
+}
+
+// retransmit fires when a tracked message's ack has not arrived within its
+// RTO: a fresh copy is reinjected and the timer re-armed with doubled
+// (capped) timeout. A spurious retransmission — the original was merely
+// slow, not lost — is harmless: the receiver suppresses it as a duplicate.
+func (t *transport) retransmit(k pendKey) {
+	o, ok := t.pending[k]
+	if !ok {
+		return // acked in the same cycle the timer fired
+	}
+	t.retries++
+	clone := *o.m
+	if len(o.m.Data) > 0 {
+		// The receiver of the original copy owns its Data; the clone
+		// must not alias a slice another node may now be holding.
+		clone.Data = append([]mem.Word(nil), o.m.Data...)
+	}
+	t.f.sendRaw(&clone)
+	if o.rto < t.cfg.RTOMax {
+		o.rto *= 2
+		if o.rto > t.cfg.RTOMax {
+			o.rto = t.cfg.RTOMax
+		}
+	}
+	o.timer = t.f.Eng.After(o.rto, func() { t.retransmit(k) })
+}
+
+// sendAck acknowledges sequence ls on link src->node. Acks are untracked
+// and themselves subject to faults; a lost ack is repaired when the
+// retransmitted original is suppressed and re-acked.
+func (t *transport) sendAck(node, src int, ls uint64) {
+	t.acksSent++
+	t.f.sendRaw(&msg.Msg{Kind: msg.NetAck, Src: node, Dst: src, XSeq: ls})
+}
+
+// ack retires the pending entry a NetAck names, cancelling its retransmit
+// timer. Acks for already-retired sequences (duplicated or stale acks) are
+// ignored.
+func (t *transport) ack(a *msg.Msg) {
+	k := pendKey{a.Dst*t.n + a.Src, a.XSeq}
+	if o, ok := t.pending[k]; ok {
+		o.timer.Cancel()
+		delete(t.pending, k)
+	}
+}
+
+// receive is the receiver-side transport: ack processing, duplicate
+// suppression, and per-link FIFO reassembly. h is the node's protocol
+// dispatch.
+func (t *transport) receive(node int, m *msg.Msg, h func(*msg.Msg)) {
+	if m.Kind == msg.NetAck {
+		t.ack(m)
+		return
+	}
+	if m.XSeq == 0 {
+		// Node-local bypass messages are untracked and unfaultable.
+		h(m)
+		return
+	}
+	li := m.Src*t.n + node
+	ls := m.XSeq
+	t.sendAck(node, m.Src, ls)
+	switch {
+	case ls <= t.expect[li]:
+		// Already delivered (a fault-plane duplicate, or a
+		// retransmission whose original got through). The re-ack above
+		// stops the sender's timer if the first ack was lost.
+		t.dupSuppressed++
+	case ls == t.expect[li]+1:
+		t.expect[li] = ls
+		h(m)
+		// Drain any held successors the gap was blocking.
+		for {
+			nm, ok := t.hold[li][t.expect[li]+1]
+			if !ok {
+				return
+			}
+			delete(t.hold[li], t.expect[li]+1)
+			t.expect[li]++
+			h(nm)
+		}
+	default:
+		// Early: a predecessor is still missing (dropped or delayed).
+		// Hold this message until the sender's retransmission fills the
+		// gap, preserving the link's FIFO order.
+		if t.hold[li] == nil {
+			t.hold[li] = make(map[uint64]*msg.Msg)
+		}
+		if _, dup := t.hold[li][ls]; dup {
+			t.dupSuppressed++
+			return
+		}
+		t.hold[li][ls] = m
+		t.reordered++
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ssmp/internal/core"
 	"ssmp/internal/mem"
 	"ssmp/internal/metrics"
+	"ssmp/internal/network"
 	"ssmp/internal/workload"
 )
 
@@ -42,6 +43,12 @@ type Options struct {
 	// Params supplies Table 4 parameters; the grain is overridden per
 	// figure.
 	Params workload.Params
+	// Faults configures interconnect fault injection for every simulation
+	// in the sweep (zero = reliable fabric). The committed experiment runs
+	// and their golden digests use the zero value; chaos sweeps set a
+	// nonzero seed and rates to check that the figures survive a lossy
+	// fabric.
+	Faults network.FaultConfig
 	// Parallelism bounds how many simulations a sweep runs concurrently.
 	// Zero means GOMAXPROCS; 1 forces the historic serial order. Each
 	// simulation is self-contained (own engine, own RNG), so the assembled
@@ -116,6 +123,7 @@ func (o Options) config(procs int, proto core.Protocol, cons core.Consistency) c
 	cfg := core.DefaultConfig(procs)
 	cfg.Protocol = proto
 	cfg.Consistency = cons
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -134,7 +142,10 @@ func (o Options) runSync(procs int, proto core.Protocol, cons core.Consistency, 
 	progs := workload.SyncModel(procs, o.Episodes, p, layout, kit, o.Seed)
 	res, err := workload.RunContext(o.context(), cfg, progs)
 	if err != nil {
-		return 0, fmt.Errorf("harness: sync model %v/%v p=%d: %w", proto, cons, procs, err)
+		// Seed and fault config make the failing cell reproducible from
+		// the message alone.
+		return 0, fmt.Errorf("harness: sync model %v/%v p=%d seed=%d %s: %w",
+			proto, cons, procs, o.Seed, o.Faults, err)
 	}
 	o.logf("  sync %v %v procs=%d grain=%d: %d cycles, %d msgs", proto, cons, procs, grain, res.Cycles, res.Messages)
 	return float64(res.Cycles), nil
@@ -155,7 +166,8 @@ func (o Options) runQueue(procs int, proto core.Protocol, cons core.Consistency,
 	progs, _ := workload.WorkQueue(procs, o.Tasks, o.SpawnProb, p, layout, kit, o.Seed)
 	res, err := workload.RunContext(o.context(), cfg, progs)
 	if err != nil {
-		return 0, fmt.Errorf("harness: work-queue %s p=%d: %w", kit.Name, procs, err)
+		return 0, fmt.Errorf("harness: work-queue %s p=%d seed=%d %s: %w",
+			kit.Name, procs, o.Seed, o.Faults, err)
 	}
 	o.logf("  queue %s %v procs=%d grain=%d: %d cycles, %d msgs", kit.Name, cons, procs, grain, res.Cycles, res.Messages)
 	return float64(res.Cycles), nil

@@ -1,0 +1,122 @@
+package litmus
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ssmp/internal/metrics"
+)
+
+// TestChaosSoakCorpus is the chaos soak: every corpus test is swept across
+// >= 32 fault seeds with drop, duplicate and delay injection enabled, and
+// every observed outcome must still be in the axiomatic allowed set — the
+// reliable transport has to make the faulty fabric invisible to the memory
+// model. The aggregated counters must show the recovery path actually ran.
+func TestChaosSoakCorpus(t *testing.T) {
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := ChaosSeeds(32)
+	if testing.Short() {
+		seeds = ChaosSeeds(8)
+	}
+	var mu sync.Mutex
+	var total metrics.FaultCounters
+	t.Run("corpus", func(t *testing.T) {
+		for _, tc := range tests {
+			tc := tc
+			t.Run(tc.Name, func(t *testing.T) {
+				t.Parallel()
+				r, err := RunChaos(tc, seeds, ChaosConfig{Rates: DefaultChaosRates()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Ok() {
+					t.Fatalf("chaos sweep failed (%s):\n  violations: %v\n  assert failures: %v",
+						r.FaultConfig, r.Violations, r.AssertFailures)
+				}
+				if r.Faults == nil {
+					t.Fatal("chaos report has no fault counters")
+				}
+				mu.Lock()
+				total.Add(*r.Faults)
+				mu.Unlock()
+			})
+		}
+	})
+	if !total.Any() {
+		t.Fatal("chaos soak injected no faults at all")
+	}
+	if total.Retries == 0 {
+		t.Fatal("chaos soak never exercised the retransmission path")
+	}
+	t.Logf("chaos soak: %d dropped, %d duplicated, %d delayed, %d retries, %d dup-suppressed, %d reordered",
+		total.Dropped, total.Duplicated, total.Delayed, total.Retries, total.DupSuppressed, total.Reordered)
+}
+
+func TestRunChaosZeroRatesMatchesRun(t *testing.T) {
+	tc, err := Load("mp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := Seeds(6)
+	plain, err := Run(tc, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := RunChaos(tc, seeds, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Faults != nil || chaos.FaultConfig != "" {
+		t.Fatalf("zero-rate chaos sweep recorded fault state: %+v", chaos)
+	}
+	if len(plain.Observed) != len(chaos.Observed) {
+		t.Fatalf("zero-rate chaos observed %d outcomes, plain run %d",
+			len(chaos.Observed), len(plain.Observed))
+	}
+	for out := range plain.Observed {
+		if _, ok := chaos.Observed[out]; !ok {
+			t.Fatalf("outcome %q missing from zero-rate chaos sweep", out)
+		}
+	}
+}
+
+func TestChaosSeeds(t *testing.T) {
+	s := ChaosSeeds(3)
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Fatalf("ChaosSeeds(3) = %v, want [1 2 3]", s)
+	}
+}
+
+func TestChaosSummaryMentionsFaults(t *testing.T) {
+	tc, err := Load("sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunChaos(tc, ChaosSeeds(4), ChaosConfig{Rates: DefaultChaosRates()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary(), "chaos") {
+		t.Fatalf("Summary() = %q, expected a chaos section", r.Summary())
+	}
+	if r.FaultConfig == "" || !strings.Contains(r.FaultConfig, "drop=") {
+		t.Fatalf("FaultConfig = %q, want a rendered fault config", r.FaultConfig)
+	}
+}
+
+func TestMustAllowForbidIntersectionRejected(t *testing.T) {
+	_, err := Parse([]byte(`{
+		"name": "bad-asserts",
+		"procs": [[{"op": "write-global", "loc": "x", "val": 1}]],
+		"observe": ["x"],
+		"must_allow": ["x=1"],
+		"must_forbid": ["x=1"]
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "both must_allow and must_forbid") {
+		t.Fatalf("intersecting assertions accepted: %v", err)
+	}
+}

@@ -267,6 +267,14 @@ func (t *Test) compile() (*compiled, error) {
 		}
 		t.MustForbid[i] = cs
 	}
+	// An outcome asserted both ways can never pass; reject it at parse.
+	for _, a := range t.MustAllow {
+		for _, f := range t.MustForbid {
+			if a == f {
+				return nil, fmt.Errorf("litmus %s: outcome %q is in both must_allow and must_forbid", t.Name, a)
+			}
+		}
+	}
 	return c, nil
 }
 

@@ -12,6 +12,9 @@ import (
 	"ssmp/internal/bccheck"
 	"ssmp/internal/core"
 	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
 )
 
 // addr maps a bccheck data location onto the machine's address space.
@@ -25,10 +28,11 @@ func barAddr(id int) mem.Addr {
 }
 
 // runSim executes the test once on a fresh machine with the given jitter
-// seed (0 = the canonical deterministic schedule) and returns the outcome
-// in canonical syntax. With trace set, the run records a history and the
-// returned graph renders it.
-func (c *compiled) runSim(seed uint64, trace bool) (string, *bccheck.Graph, error) {
+// seed (0 = the canonical deterministic schedule) and fault configuration
+// (zero = a reliable fabric) and returns the outcome in canonical syntax
+// plus the run's fault counters. With trace set, the run records a history
+// and the returned graph renders it.
+func (c *compiled) runSim(seed uint64, faults network.FaultConfig, trace bool) (string, *bccheck.Graph, metrics.FaultCounters, error) {
 	nproc := len(c.prog)
 	nodes := 2
 	for nodes < nproc {
@@ -36,6 +40,7 @@ func (c *compiled) runSim(seed uint64, trace bool) (string, *bccheck.Graph, erro
 	}
 	cfg := core.DefaultConfig(nodes)
 	cfg.Jitter = seed
+	cfg.Faults = faults
 	m := core.NewMachine(cfg)
 	var graph *bccheck.Graph
 	rec := m.EnableHistory()
@@ -75,8 +80,12 @@ func (c *compiled) runSim(seed uint64, trace bool) (string, *bccheck.Graph, erro
 			}
 		}
 	}
-	if _, err := m.Run(progs); err != nil {
-		return "", nil, fmt.Errorf("litmus %s: seed %d: %w", c.t.Name, seed, err)
+	res, err := m.Run(progs)
+	if err != nil {
+		// The seed and fault config make the failure reproducible from the
+		// message alone.
+		return "", nil, metrics.FaultCounters{}, fmt.Errorf("litmus %s: jitter seed %d, %s: %w",
+			c.t.Name, seed, faults, err)
 	}
 	o := bccheck.Outcome{Regs: regs}
 	for _, n := range c.t.Observe {
@@ -86,7 +95,7 @@ func (c *compiled) runSim(seed uint64, trace bool) (string, *bccheck.Graph, erro
 		graph = rec.Graph(machineBlockWords)
 		graph.Names = c.opts.LocName
 	}
-	return c.format(o), graph, nil
+	return c.format(o), graph, res.Faults, nil
 }
 
 // RunSim executes the test once on the simulator under the given jitter
@@ -96,7 +105,7 @@ func (t *Test) RunSim(seed uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out, _, err := c.runSim(seed, false)
+	out, _, _, err := c.runSim(seed, network.FaultConfig{}, false)
 	return out, err
 }
 
@@ -107,7 +116,8 @@ func (t *Test) TraceSim(seed uint64) (string, *bccheck.Graph, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	return c.runSim(seed, true)
+	out, graph, _, err := c.runSim(seed, network.FaultConfig{}, true)
+	return out, graph, err
 }
 
 // Report is the result of cross-validating one test.
@@ -134,6 +144,12 @@ type Report struct {
 	EnumNS int64 `json:"enum_ns"`
 	// Seeds is how many jitter seeds were swept.
 	Seeds int `json:"seeds"`
+	// FaultConfig describes the fault rates a chaos sweep injected
+	// (empty for a fault-free sweep).
+	FaultConfig string `json:"fault_config,omitempty"`
+	// Faults aggregates the fault and recovery counters over a chaos
+	// sweep's runs (nil for a fault-free sweep).
+	Faults *metrics.FaultCounters `json:"faults,omitempty"`
 }
 
 // Ok reports whether the test passed: no violation and no assertion
@@ -146,8 +162,13 @@ func (r *Report) Summary() string {
 	if !r.Ok() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("%-22s %-4s allowed %2d, observed %2d, coverage %3.0f%% (%d seeds, %d states)",
+	s := fmt.Sprintf("%-22s %-4s allowed %2d, observed %2d, coverage %3.0f%% (%d seeds, %d states)",
 		r.Name, status, len(r.Allowed), len(r.Observed), r.Coverage*100, r.Seeds, r.States)
+	if r.Faults != nil {
+		s += fmt.Sprintf(" [chaos: %d dropped, %d dup, %d delayed, %d retries]",
+			r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Delayed, r.Faults.Retries)
+	}
+	return s
 }
 
 // Seeds returns the default sweep seed list: 0 (the canonical schedule)
@@ -171,6 +192,47 @@ func Run(t *Test, seeds []uint64) (*Report, error) {
 // RunTuned is Run with explicit exploration-engine tuning (POR off,
 // forced worker count). Tuning never changes verdicts, only cost.
 func RunTuned(t *Test, seeds []uint64, tune bccheck.Tuning) (*Report, error) {
+	return runSweep(t, seeds, tune, ChaosConfig{})
+}
+
+// ChaosConfig parameterizes a chaos sweep: the fault rates injected into
+// every run. The sweep's seed list supplies the fault seeds.
+type ChaosConfig struct {
+	// Rates are the per-link fault probabilities; zero rates make the
+	// sweep equivalent to the fault-free RunTuned.
+	Rates network.FaultRates
+	// DelayMax bounds injected extra delays (0 = network.DefaultDelayMax).
+	DelayMax sim.Time
+}
+
+// DefaultChaosRates are the soak's standard fault probabilities: frequent
+// enough to exercise drop, duplicate and delay recovery in a handful of
+// runs, rare enough that retransmission converges quickly.
+func DefaultChaosRates() network.FaultRates {
+	return network.FaultRates{Drop: 0.03, Dup: 0.03, Delay: 0.1}
+}
+
+// ChaosSeeds returns n nonzero fault seeds (1..n). Seed 0 would disable
+// the fault plane, so the chaos sweep starts at 1.
+func ChaosSeeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i + 1)
+	}
+	return s
+}
+
+// RunChaos cross-validates the test under fault injection: every sweep run
+// uses its seed both as the schedule-jitter seed and as the fault-plane
+// seed, so the sweep explores adversarial schedules and an adversarial
+// fabric together. Every observed outcome must still be axiomatically
+// allowed — the reliable transport must make faults invisible to the
+// memory model. A seed of 0 runs the canonical fault-free schedule.
+func RunChaos(t *Test, seeds []uint64, chaos ChaosConfig) (*Report, error) {
+	return runSweep(t, seeds, bccheck.Tuning{}, chaos)
+}
+
+func runSweep(t *Test, seeds []uint64, tune bccheck.Tuning, chaos ChaosConfig) (*Report, error) {
 	c, err := t.compile()
 	if err != nil {
 		return nil, err
@@ -192,10 +254,24 @@ func RunTuned(t *Test, seeds []uint64, tune bccheck.Tuning) (*Report, error) {
 	}
 	sort.Strings(r.Allowed)
 
+	injecting := chaos.Rates != (network.FaultRates{})
+	if injecting {
+		r.Faults = &metrics.FaultCounters{}
+	}
 	for _, seed := range seeds {
-		out, _, err := c.runSim(seed, false)
+		var faults network.FaultConfig
+		if injecting {
+			faults = network.FaultConfig{Seed: seed, Rates: chaos.Rates, DelayMax: chaos.DelayMax}
+			if r.FaultConfig == "" && seed != 0 {
+				r.FaultConfig = faults.String()
+			}
+		}
+		out, _, fc, err := c.runSim(seed, faults, false)
 		if err != nil {
 			return nil, err
+		}
+		if r.Faults != nil {
+			r.Faults.Add(fc)
 		}
 		r.Observed[out] = append(r.Observed[out], seed)
 	}

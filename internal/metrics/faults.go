@@ -1,0 +1,44 @@
+package metrics
+
+// FaultCounters aggregates the fault-plane and reliable-transport counters
+// of one or more runs: what the interconnect injected (drops, duplicates,
+// delays) and what the transport did to survive it (retransmissions,
+// suppressed duplicates, reorder repairs). All zero when the fault plane is
+// off. The JSON form is shared by core.Result consumers, ssmpd sim results,
+// and the daemon's /metrics faults block.
+type FaultCounters struct {
+	// Dropped counts messages the fault plane discarded.
+	Dropped uint64 `json:"dropped"`
+	// Duplicated counts messages the fault plane delivered twice.
+	Duplicated uint64 `json:"duplicated"`
+	// Delayed counts messages whose delivery the fault plane postponed.
+	Delayed uint64 `json:"delayed"`
+	// DelayCycles is the total extra delay injected, in cycles.
+	DelayCycles uint64 `json:"delay_cycles"`
+	// Retries counts transport retransmissions (a retry is observed proof
+	// that the recovery path executed).
+	Retries uint64 `json:"retries"`
+	// DupSuppressed counts received messages the transport discarded as
+	// already-delivered duplicates.
+	DupSuppressed uint64 `json:"dup_suppressed"`
+	// Reordered counts messages the transport held back to restore
+	// per-link FIFO order.
+	Reordered uint64 `json:"reordered"`
+	// AcksSent counts NetAck messages the transport sent.
+	AcksSent uint64 `json:"acks_sent"`
+}
+
+// Add merges another set of counters into this one.
+func (f *FaultCounters) Add(o FaultCounters) {
+	f.Dropped += o.Dropped
+	f.Duplicated += o.Duplicated
+	f.Delayed += o.Delayed
+	f.DelayCycles += o.DelayCycles
+	f.Retries += o.Retries
+	f.DupSuppressed += o.DupSuppressed
+	f.Reordered += o.Reordered
+	f.AcksSent += o.AcksSent
+}
+
+// Any reports whether any counter is nonzero.
+func (f FaultCounters) Any() bool { return f != FaultCounters{} }

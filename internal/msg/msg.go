@@ -114,6 +114,15 @@ const (
 	// BarrierRelease releases one waiting participant.
 	BarrierRelease
 
+	// --- Reliable transport (fault plane) ---
+
+	// NetAck acknowledges receipt of a transport-tracked message (its
+	// XSeq); the sender's retransmit timer is cancelled on receipt. Sent
+	// only when the interconnect fault plane is active. NetAck itself is
+	// fire-and-forget: a lost ack is repaired by the retransmit/dedup
+	// path, never by acking acks.
+	NetAck
+
 	kindCount // sentinel
 )
 
@@ -155,6 +164,7 @@ var kindNames = [...]string{
 	RMWReply:        "rmw-reply",
 	BarrierArrive:   "barrier-arrive",
 	BarrierRelease:  "barrier-release",
+	NetAck:          "net-ack",
 }
 
 // String returns the message kind's name.
@@ -296,6 +306,12 @@ type Msg struct {
 	Seq uint64
 	// Aux carries kind-specific extra state (e.g. barrier id, RMW operand).
 	Aux uint64
+	// XSeq is the reliable transport's per-link sequence number (1-based;
+	// 0 = untracked). It identifies the message for acknowledgment,
+	// retransmission, duplicate suppression, and per-link FIFO reassembly
+	// when the fault plane is active. For NetAck it names the acknowledged
+	// message's XSeq. Protocol controllers never read or write it.
+	XSeq uint64
 }
 
 // Words returns the payload size in words for network cost purposes.

@@ -45,6 +45,11 @@ type Config struct {
 	// Topology selects the interconnect: the paper's Ω network (default)
 	// or a 2-D mesh with dimension-ordered routing.
 	Topology Topology
+	// Faults parameterizes the deterministic fault plane (drop, duplicate,
+	// extra delay per link; see faults.go). The zero value — or any config
+	// with Seed 0 — disables it, leaving delivery exactly-once and in
+	// order and the no-fault code path untouched.
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -61,6 +66,9 @@ func (c Config) Validate() error {
 	if c.SwitchDelay == 0 {
 		return fmt.Errorf("network: SwitchDelay must be positive")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -75,6 +83,8 @@ type Stats struct {
 	Local      uint64   // node-local deliveries that bypassed the network
 	LatencySum sim.Time // sum of injection-to-delivery latencies
 	QueueSum   sim.Time // portion of LatencySum due to port contention
+	// Faults counts injected faults (all zero with the fault plane off).
+	Faults FaultStats
 }
 
 // MeanLatency returns the average end-to-end latency per network message.
@@ -105,6 +115,7 @@ type Network struct {
 	bus      *sim.Resource    // bus topology: the single shared medium
 	handlers []Handler
 	inbox    []port // per-node typed delivery endpoints
+	faults   *faultPlane
 	stats    Stats
 }
 
@@ -137,8 +148,20 @@ func New(engine *sim.Engine, cfg Config) *Network {
 			n.ports[s] = make([]sim.Resource, cfg.Nodes)
 		}
 	}
+	if cfg.Faults.Enabled() {
+		n.faults = newFaultPlane(cfg.Faults, cfg.Nodes)
+	}
 	return n
 }
+
+// FaultsEnabled reports whether the fault plane is active, in which case
+// delivery is no longer exactly-once or in order and callers need the
+// fabric's reliable transport above this network.
+func (n *Network) FaultsEnabled() bool { return n.faults != nil }
+
+// LocalBypass reports whether a src->dst message bypasses the network (and
+// therefore can never be faulted).
+func (n *Network) LocalBypass(src, dst int) bool { return src == dst && !n.cfg.DanceHall }
 
 // Nodes returns the number of nodes.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
@@ -147,7 +170,13 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 func (n *Network) Stages() int { return n.stages }
 
 // Stats returns a snapshot of the counters.
-func (n *Network) Stats() Stats { return n.stats }
+func (n *Network) Stats() Stats {
+	s := n.stats
+	if n.faults != nil {
+		s.Faults = n.faults.stats
+	}
+	return s
+}
 
 // Attach registers the delivery handler for a node. Each node must attach
 // exactly once before any message addressed to it is delivered.
@@ -219,6 +248,16 @@ func (n *Network) Send(src, dst, words int, payload any) {
 	uncontended := hold * sim.Time(hops)
 	if lat > uncontended {
 		n.stats.QueueSum += lat - uncontended
+	}
+	if n.faults != nil {
+		v := n.faults.judge(src, dst)
+		if v.drop {
+			return
+		}
+		done += v.extra
+		if v.dup {
+			n.deliverAt(done+v.dupAt, dst, payload)
+		}
 	}
 	n.deliverAt(done, dst, payload)
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// faultySim is smallSim with the fault plane on.
+const faultySim = `{"procs":2,"workload":"queue","grain":32,"tasks":8,"seed":7,
+	"faults":{"seed":3,"drop":0.02,"dup":0.02,"delay":0.05}}`
+
+func TestSimWithFaultsReturnsCounters(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sim", faultySim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Key    string     `json:"key"`
+		Result *SimResult `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Result == nil || jr.Result.Faults == nil {
+		t.Fatalf("faulted sim result has no faults block: %s", body)
+	}
+	if !jr.Result.Faults.Any() {
+		t.Fatalf("fault counters all zero: %+v", jr.Result.Faults)
+	}
+	if jr.Result.Faults.AcksSent == 0 {
+		t.Fatal("transport not enabled: no acks recorded")
+	}
+
+	// The faulted spec must cache under a different key than the
+	// fault-free one, and the fault-free result must have no faults block.
+	respP, bodyP := postJSON(t, ts.URL+"/v1/sim", smallSim)
+	if respP.StatusCode != http.StatusOK {
+		t.Fatalf("plain sim status %d: %s", respP.StatusCode, bodyP)
+	}
+	var jrP struct {
+		Key    string     `json:"key"`
+		Result *SimResult `json:"result"`
+	}
+	if err := json.Unmarshal(bodyP, &jrP); err != nil {
+		t.Fatal(err)
+	}
+	if jrP.Key == jr.Key {
+		t.Fatal("faulted and fault-free specs share a cache key")
+	}
+	if jrP.Result.Faults != nil {
+		t.Fatalf("fault-free result has a faults block: %+v", jrP.Result.Faults)
+	}
+
+	// /metrics aggregates the fault counters across executed jobs.
+	respM, bodyM := getJSON(t, ts.URL+"/metrics")
+	if respM.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", respM.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(bodyM, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Faults != *jr.Result.Faults {
+		t.Fatalf("metrics faults %+v != job faults %+v", snap.Faults, *jr.Result.Faults)
+	}
+	_ = s
+}
+
+func TestSimFaultedRunsAreDeterministic(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, CacheEntries: -1})
+	_, body1 := postJSON(t, ts.URL+"/v1/sim", faultySim)
+	_, body2 := postJSON(t, ts.URL+"/v1/sim", faultySim)
+	var r1, r2 struct {
+		Result *SimResult `json:"result"`
+	}
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Result == nil || r2.Result == nil {
+		t.Fatalf("missing results: %s / %s", body1, body2)
+	}
+	if r1.Result.Cycles != r2.Result.Cycles || *r1.Result.Faults != *r2.Result.Faults {
+		t.Fatalf("same faulted spec diverged:\n%+v\n%+v", r1.Result, r2.Result)
+	}
+}
+
+func TestSimFaultSpecValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"procs":2,"faults":{"seed":1,"drop":1.5}}`, "probability"},
+		{`{"procs":2,"faults":{"seed":1,"dup":-0.1}}`, "probability"},
+		{`{"procs":2,"faults":{"seed":0,"drop":0.1}}`, "inert"},
+		{`{"procs":2,"faults":{"seed":5}}`, "inert"},
+		{`{"procs":2,"faults":{"seed":1,"drop":0.1,"delay_max":-4}}`, "delay_max"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.body, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Errorf("%s: error %s does not mention %q", c.body, body, c.want)
+		}
+	}
+}
+
+func TestFaultSpecKeyStability(t *testing.T) {
+	// Adding the faults field must not shift fault-free cache keys: the
+	// canonical JSON of a spec without faults has no faults key at all.
+	var s SimSpec
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "faults") {
+		t.Fatalf("fault-free canonical spec mentions faults: %s", enc)
+	}
+}

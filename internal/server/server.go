@@ -107,8 +107,9 @@ type Server struct {
 	litmusBusyNS    atomic.Int64
 
 	statsMu sync.Mutex
-	latency metrics.Histogram // wall milliseconds per executed job
-	msgs    metrics.Collector // simulated messages, aggregated over runs
+	latency metrics.Histogram     // wall milliseconds per executed job
+	msgs    metrics.Collector     // simulated messages, aggregated over runs
+	faults  metrics.FaultCounters // fault/recovery counters, aggregated over runs
 }
 
 // New builds a Server and its routes.
@@ -326,6 +327,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.jobsSampled.Add(1)
 		s.statsMu.Lock()
 		s.msgs.Add(coll)
+		if out.Faults != nil {
+			s.faults.Add(*out.Faults)
+		}
 		s.statsMu.Unlock()
 		return out, nil
 	})
@@ -506,6 +510,9 @@ type MetricsSnapshot struct {
 	// SimMessages aggregates simulated network messages over every run
 	// (metrics.Collector's JSON form).
 	SimMessages json.RawMessage `json:"sim_messages"`
+	// Faults aggregates fault-plane injections and transport recovery
+	// over executed sim jobs that enabled fault injection.
+	Faults metrics.FaultCounters `json:"faults"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -540,6 +547,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	s.statsMu.Lock()
+	snap.Faults = s.faults
 	lat, err := json.Marshal(&s.latency)
 	if err == nil {
 		snap.LatencyMS = lat

@@ -13,6 +13,7 @@ import (
 	"ssmp/internal/mem"
 	"ssmp/internal/metrics"
 	"ssmp/internal/network"
+	"ssmp/internal/sim"
 	"ssmp/internal/workload"
 )
 
@@ -55,6 +56,34 @@ type SimSpec struct {
 	IdealNetwork  bool `json:"ideal_network"`
 	DanceHall     bool `json:"dance_hall"`
 	DirPointers   int  `json:"dir_pointers"`
+
+	// Faults optionally enables the interconnect fault plane and the
+	// fabric's reliable transport (nil = a reliable fabric). A pointer
+	// with omitempty keeps fault-free specs' cache keys unchanged.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the JSON form of network.FaultConfig: seeded per-link
+// drop/duplicate/delay injection.
+type FaultSpec struct {
+	// Seed drives the fault randomness; it must be nonzero (a zero seed
+	// would silently disable the plane — omit the faults block instead).
+	Seed uint64 `json:"seed"`
+	// Drop, Dup and Delay are per-message probabilities in [0,1).
+	Drop  float64 `json:"drop"`
+	Dup   float64 `json:"dup"`
+	Delay float64 `json:"delay"`
+	// DelayMax bounds injected extra delay in cycles (0 = the default).
+	DelayMax int64 `json:"delay_max,omitempty"`
+}
+
+// config lowers the spec to the network's fault configuration.
+func (f *FaultSpec) config() network.FaultConfig {
+	return network.FaultConfig{
+		Seed:     f.Seed,
+		Rates:    network.FaultRates{Drop: f.Drop, Dup: f.Dup, Delay: f.Delay},
+		DelayMax: sim.Time(f.DelayMax),
+	}
 }
 
 // maxSpecProcs caps the accepted machine size: a request is a few hundred
@@ -147,6 +176,20 @@ func (s *SimSpec) Normalize() error {
 	if s.DirPointers < 0 {
 		return fmt.Errorf("dir_pointers must be >= 0, got %d", s.DirPointers)
 	}
+	if s.Faults != nil {
+		if s.Faults.DelayMax < 0 {
+			return fmt.Errorf("faults.delay_max must be >= 0, got %d", s.Faults.DelayMax)
+		}
+		fc := s.Faults.config()
+		if err := fc.Validate(); err != nil {
+			return fmt.Errorf("faults: %w", err)
+		}
+		if !fc.Enabled() {
+			// Reject no-op fault blocks so "faults off" has exactly one
+			// canonical spelling (no faults field) and one cache key.
+			return fmt.Errorf("faults block present but inert (zero seed or all-zero rates); omit it instead")
+		}
+	}
 	return nil
 }
 
@@ -174,6 +217,9 @@ func (s *SimSpec) config() core.Config {
 	cfg.DanceHall = s.DanceHall
 	cfg.DirMaxPointers = s.DirPointers
 	cfg.Jitter = s.Jitter
+	if s.Faults != nil {
+		cfg.Faults = s.Faults.config()
+	}
 	return cfg
 }
 
@@ -191,6 +237,9 @@ type SimResult struct {
 	// ByKind breaks Messages down by message kind and cost class
 	// (metrics.Collector's JSON form).
 	ByKind *metrics.Collector `json:"by_kind"`
+	// Faults reports fault injection and transport recovery counters
+	// (present only when the spec enabled the fault plane).
+	Faults *metrics.FaultCounters `json:"faults,omitempty"`
 }
 
 // run executes the spec on a fresh machine. The returned collector is the
@@ -218,7 +267,7 @@ func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	return &SimResult{
+	out := &SimResult{
 		Cycles:          uint64(res.Cycles),
 		Events:          res.Events,
 		Messages:        res.Messages,
@@ -226,7 +275,12 @@ func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, erro
 		MeanNetQueueing: res.MeanNetQueueing,
 		MeanUtilization: res.MeanUtilization,
 		ByKind:          m.Messages(),
-	}, m.Messages(), nil
+	}
+	if s.Faults != nil {
+		fc := res.Faults
+		out.Faults = &fc
+	}
+	return out, m.Messages(), nil
 }
 
 // FigureSpec is the canonical specification of a paper-figure job: which

@@ -152,6 +152,8 @@ type (
 	LinSolver = workload.LinSolver
 	// WorkDAG is the dependency-honoring (non-FIFO) work-queue model.
 	WorkDAG = workload.WorkDAG
+	// QueueStats is the work-queue model's task accounting.
+	QueueStats = workload.QueueStats
 )
 
 // Workload grain presets (references per task).
@@ -243,6 +245,19 @@ type (
 	MessageStats = metrics.Collector
 	// Histogram is a power-of-two-bucket distribution.
 	Histogram = metrics.Histogram
+)
+
+// Fault injection (chaos testing). Configure Config.Faults with a nonzero
+// seed and rates to run the machine over a misbehaving interconnect; the
+// fabric's reliable transport recovers, and Result.Faults reports both the
+// injections and the recovery work.
+type (
+	// FaultConfig parameterizes the interconnect fault plane.
+	FaultConfig = network.FaultConfig
+	// FaultRates are per-message drop/duplicate/delay probabilities.
+	FaultRates = network.FaultRates
+	// FaultCounters reports injections and transport recovery.
+	FaultCounters = metrics.FaultCounters
 )
 
 // History verification (package history).
