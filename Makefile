@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke litmus chaos cover serve clean
+.PHONY: build test race vet bench bench-json bench-smoke bench-sync litmus synczoo chaos cover serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -37,6 +37,23 @@ bench-json:
 # noise anyway.
 bench-smoke:
 	$(GO) test '-bench=SimulatorThroughput|Enumerate' -benchtime=1x -run=^$$ .
+
+# Synchronization-zoo contention sweep as a committed benchmark record:
+# rmr/acq and acq/kcycle per algorithm land in the extra map (see
+# cmd/benchjson), written to results/BENCH_6.json.
+bench-sync:
+	$(GO) test '-bench=SyncZoo' -benchtime=1x -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) \
+			-out results/BENCH_6.json -latest results/BENCH_latest.json
+	@cat results/BENCH_6.json
+
+# Synchronization-zoo litmus: the mutual-exclusion and barrier-separation
+# witnesses for every zoo algorithm, swept across jitter seeds under the
+# race detector, then across fault seeds on a misbehaving interconnect.
+synczoo:
+	$(GO) test -race ./internal/synczoo/
+	$(GO) run ./cmd/ssmpsync litmus -seeds 8
+	$(GO) run ./cmd/ssmpsync litmus -seeds 8 -faults
 
 # Litmus cross-validation: the embedded corpus under the race detector,
 # then a bounded fuzz of random programs against the axiomatic model.

@@ -17,6 +17,7 @@ import (
 	"ssmp/internal/msg"
 	"ssmp/internal/network"
 	"ssmp/internal/syncprim"
+	"ssmp/internal/synczoo"
 	"ssmp/internal/workload"
 )
 
@@ -730,6 +731,62 @@ func BenchmarkMCSVersusCBL(b *testing.B) {
 			b.ReportMetric(float64(cycles), "cycles")
 			b.ReportMetric(float64(msgs), "messages")
 		})
+	}
+}
+
+// BenchmarkSyncZoo runs the synchronization-zoo contention sweep: every
+// registered lock algorithm at small and large machine sizes, reporting
+// remote memory references per acquisition and acquisition throughput.
+// The rmr/acq column is the Mellor-Crummey & Scott separation in benchmark
+// form: mcs and cbl stay flat from n=4 to n=32 while tas grows.
+func BenchmarkSyncZoo(b *testing.B) {
+	for _, algo := range ssmp.LockAlgos() {
+		for _, n := range []int{4, 32} {
+			b.Run(fmt.Sprintf("%s/n=%d", algo.Key, n), func(b *testing.B) {
+				var pt ssmp.LockBenchPoint
+				for i := 0; i < b.N; i++ {
+					var err error
+					pt, err = ssmp.RunLockBench(algo, synczoo.LockBenchOptions{
+						Procs: n, Iters: 8, Crit: 16, Delay: 32,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !pt.Verified() {
+						b.Fatalf("mutual exclusion violated: final %d, want %d", pt.Final, pt.Want)
+					}
+				}
+				b.ReportMetric(pt.RMRPerAcq(), "rmr/acq")
+				b.ReportMetric(pt.AcqPerKCycle(), "acq/kcycle")
+				b.ReportMetric(float64(pt.Cycles), "cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkSyncZooBarriers sweeps the barrier zoo the same way, in remote
+// references per participant per episode.
+func BenchmarkSyncZooBarriers(b *testing.B) {
+	for _, algo := range ssmp.BarrierAlgos() {
+		for _, n := range []int{4, 32} {
+			b.Run(fmt.Sprintf("%s/n=%d", algo.Key, n), func(b *testing.B) {
+				var pt ssmp.BarrierBenchPoint
+				for i := 0; i < b.N; i++ {
+					var err error
+					pt, err = ssmp.RunBarrierBench(algo, synczoo.BarrierBenchOptions{
+						Procs: n, Episodes: 4, Work: 40,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !pt.Verified() {
+						b.Fatal("barrier separation violated")
+					}
+				}
+				b.ReportMetric(pt.RMRPerEpisode(), "rmr/episode")
+				b.ReportMetric(float64(pt.Cycles), "cycles")
+			})
+		}
 	}
 }
 

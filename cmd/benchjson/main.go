@@ -39,6 +39,10 @@ type Entry struct {
 	// SimCyclesPerSec derives kernel throughput from it.
 	SimCyclesPerOp  float64 `json:"sim_cycles_per_op,omitempty"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// Extra carries every other custom b.ReportMetric unit verbatim
+	// (e.g. "rmr/acq", "states/s"), so new benchmarks need no parser
+	// change to land in the record.
+	Extra map[string]float64 `json:"extra,omitempty"`
 
 	// Baseline carries the matching entry of the -baseline file, plus
 	// speedup ratios, when one was given.
@@ -161,6 +165,11 @@ func parse(r *os.File) ([]Entry, error) {
 				e.AllocsPerOp = v
 			case "sim-cycles/op":
 				e.SimCyclesPerOp = v
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[fields[i+1]] = v
 			}
 		}
 		if e.NsPerOp > 0 && e.SimCyclesPerOp > 0 {

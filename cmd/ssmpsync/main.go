@@ -1,0 +1,257 @@
+// Command ssmpsync runs the synchronization-algorithm zoo: software locks
+// and barriers built from the machine's Table-1 primitives, benchmarked
+// against the paper's hardware CBL lock and barrier and scored in remote
+// memory references per operation.
+//
+// Usage:
+//
+//	ssmpsync list
+//	ssmpsync locks   [-procs 2,4,8,16,32] [-iters 8] [-algos mcs,tas] [-csv] [-json]
+//	ssmpsync barriers [-procs 2,4,8,16,32] [-episodes 4] [-algos dissem] [-csv] [-json]
+//	ssmpsync litmus  [-seeds 16] [-procs 4] [-faults] [-drop 0.03] [-dup 0.03] [-delay 0.1]
+//
+// locks and barriers print the contention sweep (acquisitions per 1000
+// cycles and RMRs per acquisition / episode); litmus sweeps the
+// mutual-exclusion and barrier-separation witnesses across schedule-jitter
+// seeds, optionally over a faulty interconnect.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ssmp/internal/litmus"
+	"ssmp/internal/network"
+	"ssmp/internal/synczoo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "locks":
+		err = cmdLocks(os.Args[2:])
+	case "barriers":
+		err = cmdBarriers(os.Args[2:])
+	case "litmus":
+		err = cmdLitmus(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmpsync:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ssmpsync list
+  ssmpsync locks   [-procs 2,4,8,16,32] [-iters 8] [-algos keys] [-csv] [-json]
+  ssmpsync barriers [-procs 2,4,8,16,32] [-episodes 4] [-algos keys] [-csv] [-json]
+  ssmpsync litmus  [-seeds 16] [-procs 4] [-faults] [-drop 0.03] [-dup 0.03] [-delay 0.1]`)
+	os.Exit(2)
+}
+
+func cmdList() error {
+	fmt.Println("lock algorithms:")
+	for _, a := range synczoo.LockAlgos() {
+		fmt.Printf("  %-12s %s\n", a.Key, a.Proto)
+	}
+	fmt.Println("barrier algorithms:")
+	for _, a := range synczoo.BarrierAlgos() {
+		fmt.Printf("  %-12s %s\n", a.Key, a.Proto)
+	}
+	return nil
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func selectKeys(all, requested string) ([]string, error) {
+	if requested == "" {
+		return strings.Split(all, ","), nil
+	}
+	return strings.Split(requested, ","), nil
+}
+
+func cmdLocks(args []string) error {
+	fs := flag.NewFlagSet("locks", flag.ExitOnError)
+	procsFlag := fs.String("procs", "2,4,8,16,32", "comma-separated processor counts (powers of two)")
+	iters := fs.Int("iters", 8, "acquisitions per processor")
+	algosFlag := fs.String("algos", "", "comma-separated algorithm keys (default: all)")
+	asCSV := fs.Bool("csv", false, "emit CSV")
+	asJSON := fs.Bool("json", false, "emit JSON points")
+	fs.Parse(args)
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		return err
+	}
+	var allKeys []string
+	for _, a := range synczoo.LockAlgos() {
+		allKeys = append(allKeys, a.Key)
+	}
+	keys, err := selectKeys(strings.Join(allKeys, ","), *algosFlag)
+	if err != nil {
+		return err
+	}
+
+	var pts []synczoo.LockPoint
+	for _, key := range keys {
+		algo, err := synczoo.LockAlgoByKey(strings.TrimSpace(key))
+		if err != nil {
+			return err
+		}
+		for _, n := range procs {
+			pt, err := synczoo.RunLockBench(algo, synczoo.LockBenchOptions{
+				Procs: n, Iters: *iters, Crit: 16, Delay: 32,
+			})
+			if err != nil {
+				return err
+			}
+			if !pt.Verified() {
+				return fmt.Errorf("%s p=%d violated mutual exclusion (final %d, want %d)",
+					algo.Key, n, pt.Final, pt.Want)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pts)
+	case *asCSV:
+		fmt.Println("algo,procs,iters,cycles,acquisitions,rmr_local,rmr_remote,rmr_writebacks,rmr_per_acq,acq_per_kcycle")
+		for _, pt := range pts {
+			fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f\n",
+				pt.Algo, pt.Procs, pt.Iters, pt.Cycles, pt.Acquisitions,
+				pt.RMR.Local, pt.RMR.Remote, pt.RMR.Writebacks, pt.RMRPerAcq(), pt.AcqPerKCycle())
+		}
+	default:
+		fmt.Printf("%-12s %6s %10s %12s %10s\n", "algo", "procs", "cycles", "rmr/acq", "acq/kcyc")
+		for _, pt := range pts {
+			fmt.Printf("%-12s %6d %10d %12.2f %10.2f\n",
+				pt.Algo, pt.Procs, pt.Cycles, pt.RMRPerAcq(), pt.AcqPerKCycle())
+		}
+	}
+	return nil
+}
+
+func cmdBarriers(args []string) error {
+	fs := flag.NewFlagSet("barriers", flag.ExitOnError)
+	procsFlag := fs.String("procs", "2,4,8,16,32", "comma-separated processor counts (powers of two)")
+	episodes := fs.Int("episodes", 4, "barrier episodes")
+	algosFlag := fs.String("algos", "", "comma-separated algorithm keys (default: all)")
+	asCSV := fs.Bool("csv", false, "emit CSV")
+	asJSON := fs.Bool("json", false, "emit JSON points")
+	fs.Parse(args)
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		return err
+	}
+	var allKeys []string
+	for _, a := range synczoo.BarrierAlgos() {
+		allKeys = append(allKeys, a.Key)
+	}
+	keys, err := selectKeys(strings.Join(allKeys, ","), *algosFlag)
+	if err != nil {
+		return err
+	}
+
+	var pts []synczoo.BarrierPoint
+	for _, key := range keys {
+		algo, err := synczoo.BarrierAlgoByKey(strings.TrimSpace(key))
+		if err != nil {
+			return err
+		}
+		for _, n := range procs {
+			pt, err := synczoo.RunBarrierBench(algo, synczoo.BarrierBenchOptions{
+				Procs: n, Episodes: *episodes, Work: 40,
+			})
+			if err != nil {
+				return err
+			}
+			if !pt.Verified() {
+				return fmt.Errorf("%s p=%d violated barrier separation", algo.Key, n)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pts)
+	case *asCSV:
+		fmt.Println("algo,procs,episodes,cycles,rmr_local,rmr_remote,rmr_writebacks,rmr_per_episode")
+		for _, pt := range pts {
+			fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%.3f\n",
+				pt.Algo, pt.Procs, pt.Episodes, pt.Cycles,
+				pt.RMR.Local, pt.RMR.Remote, pt.RMR.Writebacks, pt.RMRPerEpisode())
+		}
+	default:
+		fmt.Printf("%-12s %6s %10s %14s\n", "algo", "procs", "cycles", "rmr/episode")
+		for _, pt := range pts {
+			fmt.Printf("%-12s %6d %10d %14.2f\n", pt.Algo, pt.Procs, pt.Cycles, pt.RMRPerEpisode())
+		}
+	}
+	return nil
+}
+
+func cmdLitmus(args []string) error {
+	fs := flag.NewFlagSet("litmus", flag.ExitOnError)
+	seeds := fs.Int("seeds", 16, "jitter/fault seeds per algorithm")
+	procs := fs.Int("procs", 4, "processor count (a power of two)")
+	faults := fs.Bool("faults", false, "inject interconnect faults")
+	drop := fs.Float64("drop", 0.03, "per-message drop probability (with -faults)")
+	dup := fs.Float64("dup", 0.03, "per-message duplicate probability (with -faults)")
+	delay := fs.Float64("delay", 0.1, "per-message extra-delay probability (with -faults)")
+	fs.Parse(args)
+
+	var rates network.FaultRates
+	if *faults {
+		rates = network.FaultRates{Drop: *drop, Dup: *dup, Delay: *delay}
+	}
+	seedList := litmus.ChaosSeeds(*seeds)
+	fail := 0
+	for _, algo := range synczoo.LockAlgos() {
+		f, err := synczoo.SweepMutex(algo, *procs, 4, seedList, rates)
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+			fail++
+		}
+		fmt.Printf("mutex      %-12s seeds=%d faults=%v: %s\n", algo.Key, len(seedList), f.Any(), status)
+	}
+	for _, algo := range synczoo.BarrierAlgos() {
+		f, err := synczoo.SweepBarrier(algo, *procs, 3, seedList, rates)
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+			fail++
+		}
+		fmt.Printf("separation %-12s seeds=%d faults=%v: %s\n", algo.Key, len(seedList), f.Any(), status)
+	}
+	if fail > 0 {
+		return fmt.Errorf("%d algorithm(s) failed", fail)
+	}
+	return nil
+}

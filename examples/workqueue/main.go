@@ -16,19 +16,43 @@ import (
 	"ssmp"
 )
 
-// scheme is one synchronization configuration under comparison.
+// scheme is one synchronization configuration under comparison. The queue
+// lock is pluggable: any ssmp.Locker drops into the kit, so the same model
+// runs over hardware queued locks, software spin locks, and the MCS queue
+// lock without touching the workload.
 type scheme struct {
 	name    string
 	proto   ssmp.Protocol
 	backoff bool
+	// queueLock, when non-nil, replaces the kit's queue lock.
+	queueLock func(cfg ssmp.Config, n int) ssmp.Locker
 }
 
-// schemes returns the three lock implementations the paper compares.
+// mcsBase is a block number above every address the workload layout hands
+// out, so the MCS lock's tail and per-processor spin nodes collide with
+// nothing.
+const mcsBase = 8192
+
+// mcsQueueLock builds the zoo's MCS queue lock: a tail word plus one
+// cache-block-padded spin node per processor, so each waiter spins on a
+// word homed with its own node.
+func mcsQueueLock(cfg ssmp.Config, n int) ssmp.Locker {
+	base := ssmp.Addr(mcsBase * cfg.BlockWords)
+	return ssmp.MCSLock{
+		TailAddr:   base,
+		NodeBase:   base + ssmp.Addr(cfg.BlockWords),
+		BlockWords: cfg.BlockWords,
+	}
+}
+
+// schemes returns the three lock implementations the paper compares plus
+// the MCS queue lock riding in through the pluggable interface.
 func schemes() []scheme {
 	return []scheme{
-		{"Q-CBL", ssmp.ProtoCBL, false},
-		{"Q-WBI", ssmp.ProtoWBI, false},
-		{"Q-backoff", ssmp.ProtoWBI, true},
+		{name: "Q-CBL", proto: ssmp.ProtoCBL},
+		{name: "Q-WBI", proto: ssmp.ProtoWBI},
+		{name: "Q-backoff", proto: ssmp.ProtoWBI, backoff: true},
+		{name: "Q-MCS", proto: ssmp.ProtoWBI, queueLock: mcsQueueLock},
 	}
 }
 
@@ -45,6 +69,10 @@ func runScheme(c scheme, n, tasks, grain int, spawnProb float64, seed uint64) (s
 		kit = ssmp.CBLKit(layout, n)
 	} else {
 		kit = ssmp.WBIKit(layout, n, c.backoff)
+	}
+	if c.queueLock != nil {
+		kit.Name = c.name
+		kit.QueueLock = c.queueLock(cfg, n)
 	}
 	progs, stats := ssmp.WorkQueue(n, tasks, spawnProb, p, layout, kit, seed)
 	res, err := ssmp.NewMachine(cfg).Run(progs)

@@ -45,6 +45,56 @@ func TestWorkQueueNoSpawn(t *testing.T) {
 	}
 }
 
+// TestWorkQueueLockAgnostic pins the pluggable-lock contract: the lock
+// implementation must not change what the workload computes. With spawning
+// off (spawn decisions are drawn from per-processor streams, so they are
+// schedule-dependent and excluded from the contract) every scheme —
+// hardware CBL, test-and-set, backoff, and the MCS queue lock plugged in
+// through the common interface — must execute exactly the initial task set,
+// no task lost to a broken handoff or double-drawn from a broken lock; only
+// the cycle count may differ.
+func TestWorkQueueLockAgnostic(t *testing.T) {
+	const (
+		n     = 4
+		tasks = 16
+		grain = 32
+		seed  = 11
+	)
+	for _, c := range schemes() {
+		res, stats, err := runScheme(c, n, tasks, grain, 0, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if stats.TasksExecuted != tasks || stats.Spawned != 0 {
+			t.Errorf("%s executed %d tasks (%d spawned), want exactly %d",
+				c.name, stats.TasksExecuted, stats.Spawned, tasks)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s reported zero cycles", c.name)
+		}
+	}
+}
+
+// TestWorkQueueMCSDeterministic pins the MCS scheme's seed-stability.
+func TestWorkQueueMCSDeterministic(t *testing.T) {
+	mcs := schemes()[3]
+	if mcs.name != "Q-MCS" {
+		t.Fatalf("scheme 3 is %s, want Q-MCS", mcs.name)
+	}
+	r1, s1, err := runScheme(mcs, 4, 16, 32, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := runScheme(mcs, 4, 16, 32, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || s1.Spawned != s2.Spawned {
+		t.Fatalf("same seed diverged: %d/%d cycles, %d/%d spawned",
+			r1.Cycles, r2.Cycles, s1.Spawned, s2.Spawned)
+	}
+}
+
 // TestWorkQueueDeterministic pins seed-stability: the same seed must give
 // the same cycle count and the same spawn decisions on every run.
 func TestWorkQueueDeterministic(t *testing.T) {

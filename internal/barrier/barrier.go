@@ -107,6 +107,7 @@ func (u *Unit) Arrive(a mem.Addr, participants int, done func()) {
 		panic(fmt.Sprintf("barrier: node %d already waiting at %d", u.id, a))
 	}
 	u.waiting[a] = done
+	u.f.RMR.RemoteRef(u.id)
 	u.f.Send(&msg.Msg{
 		Kind: msg.BarrierArrive, Src: u.id, Dst: u.geom.Home(u.geom.BlockOf(a)),
 		Aux: uint64(a), Acks: participants,

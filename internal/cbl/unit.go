@@ -104,6 +104,7 @@ func (u *Unit) ReadLocked(a mem.Addr) (mem.Word, error) {
 	if l == nil || !l.Held {
 		return 0, ErrNotHeld
 	}
+	u.f.RMR.LocalHit(u.id)
 	return l.Data[u.geom.WordIndex(a)], nil
 }
 
@@ -118,6 +119,7 @@ func (u *Unit) WriteLocked(a mem.Addr, w mem.Word) error {
 		return fmt.Errorf("cbl: write under %v", l.Mode)
 	}
 	wi := u.geom.WordIndex(a)
+	u.f.RMR.LocalHit(u.id)
 	l.Data[wi] = w
 	l.Dirty.Set(wi)
 	return nil
@@ -143,6 +145,7 @@ func (u *Unit) Lock(a mem.Addr, mode msg.LockMode, done func()) error {
 	l.Held = false
 	u.waiting[b] = done
 	u.epoch[b]++
+	u.f.RMR.RemoteRef(u.id)
 	u.f.Send(&msg.Msg{Kind: msg.LockReq, Src: u.id, Dst: u.geom.Home(b), Block: b, Mode: mode, Seq: u.epoch[b]})
 	return nil
 }
@@ -159,6 +162,7 @@ func (u *Unit) Unlock(a mem.Addr, done func()) error {
 		return ErrNotHeld
 	}
 	home := u.geom.Home(b)
+	u.f.RMR.RemoteRef(u.id)
 	if ni, ok := u.next[b]; u.DirectHandoff && ok && l.Mode == msg.LockWrite &&
 		ni.mode == msg.LockWrite {
 		// Fast path (§4.3's structural description): the grant — and

@@ -157,6 +157,12 @@ func (m *Machine) Proc(i int) *Proc { return m.nodes[i].proc }
 // Messages returns the global message collector.
 func (m *Machine) Messages() *metrics.Collector { return m.fab.Coll }
 
+// RMRs returns the per-processor remote-memory-reference account. The
+// cache-side controllers classify every shared reference as local (served
+// by the issuing node's cache or lock cache) or remote (required an
+// interconnect transaction) at their hit/miss decision points.
+func (m *Machine) RMRs() *metrics.RMRAccount { return m.fab.RMR }
+
 // EnableHistory turns on operation recording for linearizability checking:
 // every Read/Write/ReadGlobal/WriteGlobal/RMW is logged with its real-time
 // interval. Call before Run; check the returned recorder afterwards.
@@ -213,6 +219,9 @@ type Result struct {
 	// Faults reports fault injection and transport recovery counters
 	// (all zero when Config.Faults is disabled).
 	Faults metrics.FaultCounters
+	// RMR totals the remote-memory-reference classification over all
+	// processors; Machine.RMRs has the per-processor breakdown.
+	RMR metrics.RMRCounters
 }
 
 // ErrDeadlock is returned when the event queue drains with processors still
@@ -313,6 +322,7 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		MeanNetLatency:  st.MeanLatency(),
 		MeanNetQueueing: st.MeanQueueing(),
 		Faults:          m.fab.FaultCounters(),
+		RMR:             m.fab.RMR.Total(),
 	}
 	if utilN > 0 {
 		res.MeanUtilization = utilSum / float64(utilN)

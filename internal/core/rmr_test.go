@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/metrics"
+)
+
+// run2 executes prog on processor 0 of a fresh 2-node machine and returns
+// the machine and result.
+func run2(t *testing.T, cfg Config, prog Program) (*Machine, Result) {
+	t.Helper()
+	m := NewMachine(cfg)
+	res, err := m.Run([]Program{prog, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// TestRMRClassifierWBI pins the classifier's three WBI decision points: a
+// cold read is a remote reference, a re-read of the cached line is a local
+// hit, and a write upgrade is remote again until the line is exclusive.
+func TestRMRClassifierWBI(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Protocol = ProtoWBI
+	// Block 1 is homed at node 1: every miss crosses the interconnect.
+	a := mem.Addr(cfg.BlockWords)
+	m, res := run2(t, cfg, func(p *Proc) {
+		p.Read(a)                                            // cold miss -> remote
+		p.Read(a)                                            // S hit -> local
+		p.Write(a, 7)                                        // upgrade to M -> remote
+		p.Write(a, 8)                                        // M hit -> local
+		p.RMW(a, func(w mem.Word) mem.Word { return w + 1 }) // M hit -> local
+	})
+	want := metrics.RMRCounters{Local: 3, Remote: 2}
+	if got := m.RMRs().Proc(0); got != want {
+		t.Fatalf("proc 0 RMRs = %+v, want %+v", got, want)
+	}
+	if got := m.RMRs().Proc(1); got.Any() {
+		t.Fatalf("idle proc 1 charged RMRs: %+v", got)
+	}
+	if res.RMR != want {
+		t.Fatalf("Result.RMR = %+v, want %+v", res.RMR, want)
+	}
+}
+
+// TestRMRClassifierWritebackAttribution forces a dirty eviction with a
+// one-line cache and checks the writeback is charged to the evicting
+// processor.
+func TestRMRClassifierWritebackAttribution(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Protocol = ProtoWBI
+	cfg.CacheSets = 1
+	cfg.CacheWays = 1
+	a := mem.Addr(cfg.BlockWords)     // block 1
+	b := mem.Addr(3 * cfg.BlockWords) // block 3 — same (only) set
+	m, _ := run2(t, cfg, func(p *Proc) {
+		p.Write(a, 1) // remote (GetX)
+		p.Write(b, 2) // remote; installing evicts dirty block 1 -> writeback
+	})
+	want := metrics.RMRCounters{Remote: 2, Writebacks: 1}
+	if got := m.RMRs().Proc(0); got != want {
+		t.Fatalf("proc 0 RMRs = %+v, want %+v", got, want)
+	}
+}
+
+// TestRMRClassifierCBLLockCache pins the CBL machine's accounting: lock and
+// unlock are remote references, every access under the held lock is a
+// lock-cache hit (local), and plain cached reads are local after the first
+// miss.
+func TestRMRClassifierCBLLockCache(t *testing.T) {
+	cfg := DefaultConfig(2)
+	lockAddr := mem.Addr(cfg.BlockWords) // block 1
+	plain := mem.Addr(2 * cfg.BlockWords)
+	m, _ := run2(t, cfg, func(p *Proc) {
+		p.WriteLock(lockAddr) // remote
+		p.Write(lockAddr, 5)  // lock-cache hit -> local
+		p.Read(lockAddr)      // lock-cache hit -> local
+		p.Unlock(lockAddr)    // remote
+		p.Read(plain)         // cold miss -> remote
+		p.Read(plain)         // cached -> local
+	})
+	want := metrics.RMRCounters{Local: 3, Remote: 3}
+	if got := m.RMRs().Proc(0); got != want {
+		t.Fatalf("proc 0 RMRs = %+v, want %+v", got, want)
+	}
+}

@@ -37,6 +37,10 @@ type Fabric struct {
 	Net  *network.Network
 	Time Timing
 	Coll *metrics.Collector
+	// RMR attributes each shared reference — classified local vs remote by
+	// the cache-side protocol controllers at their hit/miss decision points
+	// — to the issuing processor.
+	RMR *metrics.RMRAccount
 	// OnSend, when set, observes every message at injection time (message
 	// tracing / debugging). It must not mutate the message.
 	OnSend func(*msg.Msg)
@@ -47,7 +51,7 @@ type Fabric struct {
 
 // New builds a fabric over an engine and network.
 func New(eng *sim.Engine, net *network.Network, t Timing) *Fabric {
-	return &Fabric{Eng: eng, Net: net, Time: t, Coll: &metrics.Collector{}}
+	return &Fabric{Eng: eng, Net: net, Time: t, Coll: &metrics.Collector{}, RMR: metrics.NewRMRAccount(net.Nodes())}
 }
 
 // Send counts and transmits a message. The message's Words() determine its

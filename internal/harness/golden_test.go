@@ -64,6 +64,17 @@ func goldenDigests(t *testing.T, o Options) map[string]string {
 	out["table2"] = digest(FormatTable2Sim(8, 10, t2))
 	t3 := o.Table3Sim(8)
 	out["table3"] = digest(FormatTable3Sim(8, t3))
+	rmr, thr, err := o.SyncZooLockFigures()
+	if err != nil {
+		t.Fatalf("synczoo lock figures: %v", err)
+	}
+	out["synczoo-rmr"] = digest(rmr.Table() + "\n" + rmr.CSV())
+	out["synczoo-throughput"] = digest(thr.Table() + "\n" + thr.CSV())
+	bar, err := o.SyncZooBarrierFigure()
+	if err != nil {
+		t.Fatalf("synczoo barrier figure: %v", err)
+	}
+	out["synczoo-barrier"] = digest(bar.Table() + "\n" + bar.CSV())
 	return out
 }
 

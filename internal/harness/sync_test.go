@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"ssmp/internal/litmus"
+	"ssmp/internal/network"
+	"ssmp/internal/workload"
+)
+
+func zooOptions() Options {
+	return Options{
+		Procs:    []int{4, 16, 32},
+		Episodes: 6,
+		Seed:     42,
+		Params:   workload.DefaultParams(),
+	}
+}
+
+// lastY returns the named series' final y value.
+func lastY(t *testing.T, f Figure, name string) float64 {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name != name {
+			continue
+		}
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: series %s is empty", f.Name, name)
+		}
+		return s.Points[len(s.Points)-1].Y
+	}
+	t.Fatalf("%s: no series %s", f.Name, name)
+	return 0
+}
+
+// TestSyncZooFigureShowsSeparation pins the MCS flat-vs-queue separation in
+// the harness output itself: at the sweep's largest machine the queue locks
+// (mcs, cbl) must sit well below test-and-set in remote references per
+// acquisition.
+func TestSyncZooFigureShowsSeparation(t *testing.T) {
+	rmr, _, err := zooOptions().SyncZooLockFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tas := lastY(t, rmr, "tas")
+	mcs := lastY(t, rmr, "mcs")
+	cbl := lastY(t, rmr, "cbl")
+	t.Logf("rmr/acq at p=32: tas=%.2f mcs=%.2f cbl=%.2f", tas, mcs, cbl)
+	if tas < 3*mcs {
+		t.Errorf("tas (%.2f) does not separate from mcs (%.2f) in the figure", tas, mcs)
+	}
+	if tas < 3*cbl {
+		t.Errorf("tas (%.2f) does not separate from cbl (%.2f) in the figure", tas, cbl)
+	}
+}
+
+// TestSyncZooBarrierFigure checks the barrier sweep assembles a point for
+// every algorithm at every processor count.
+func TestSyncZooBarrierFigure(t *testing.T) {
+	f, err := zooOptions().SyncZooBarrierFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != len(zooOptions().Procs) {
+			t.Errorf("series %s has %d points, want %d", s.Name, len(s.Points), len(zooOptions().Procs))
+		}
+	}
+}
+
+// TestSyncZooFiguresSurviveChaos runs the zoo sweep over a faulty
+// interconnect: every witness must still hold (the transport makes faults
+// invisible to the algorithms).
+func TestSyncZooFiguresSurviveChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow; skipped in -short")
+	}
+	o := zooOptions()
+	o.Procs = []int{4, 8}
+	o.Faults = network.FaultConfig{Seed: 7, Rates: litmus.DefaultChaosRates()}
+	if _, _, err := o.SyncZooLockFigures(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.SyncZooBarrierFigure(); err != nil {
+		t.Fatal(err)
+	}
+}

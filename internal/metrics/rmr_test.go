@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRMRAccountAttribution(t *testing.T) {
+	a := NewRMRAccount(4)
+	a.LocalHit(0)
+	a.LocalHit(0)
+	a.RemoteRef(0)
+	a.RemoteRef(2)
+	a.Writeback(2)
+
+	if got := a.Proc(0); got != (RMRCounters{Local: 2, Remote: 1}) {
+		t.Fatalf("proc 0 = %+v", got)
+	}
+	if got := a.Proc(1); got.Any() {
+		t.Fatalf("proc 1 should be untouched, got %+v", got)
+	}
+	if got := a.Proc(2); got != (RMRCounters{Remote: 1, Writebacks: 1}) {
+		t.Fatalf("proc 2 = %+v", got)
+	}
+	want := RMRCounters{Local: 2, Remote: 2, Writebacks: 1}
+	if got := a.Total(); got != want {
+		t.Fatalf("total = %+v, want %+v", got, want)
+	}
+	if got := a.Total().References(); got != 4 {
+		t.Fatalf("references = %d, want 4", got)
+	}
+}
+
+func TestRMRCountersAddAndJSON(t *testing.T) {
+	c := RMRCounters{Local: 1, Remote: 2, Writebacks: 3}
+	c.Add(RMRCounters{Local: 10, Remote: 20, Writebacks: 30})
+	if c != (RMRCounters{Local: 11, Remote: 22, Writebacks: 33}) {
+		t.Fatalf("after Add: %+v", c)
+	}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"local":11`, `"remote":22`, `"writebacks":33`} {
+		if !strings.Contains(string(enc), key) {
+			t.Fatalf("JSON %s missing %s", enc, key)
+		}
+	}
+	var rt RMRCounters
+	if err := json.Unmarshal(enc, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt != c {
+		t.Fatalf("round trip %+v != %+v", rt, c)
+	}
+}
+
+func TestRMRPerProcIsACopy(t *testing.T) {
+	a := NewRMRAccount(2)
+	a.RemoteRef(1)
+	pp := a.PerProc()
+	pp[1].Remote = 99
+	if a.Proc(1).Remote != 1 {
+		t.Fatalf("PerProc aliases the account: %+v", a.Proc(1))
+	}
+}

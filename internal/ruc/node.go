@@ -79,11 +79,13 @@ func (n *Node) Read(a mem.Addr, done func(mem.Word)) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil {
+		n.f.RMR.LocalHit(n.id)
 		w := l.Data[wi]
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done(w) })
 		return
 	}
 	n.setPending(msg.ReadMiss, b, wi, done)
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{Kind: msg.ReadMiss, Src: n.id, Dst: n.geom.Home(b), Block: b})
 }
 
@@ -93,6 +95,7 @@ func (n *Node) Write(a mem.Addr, w mem.Word, done func()) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil {
+		n.f.RMR.LocalHit(n.id)
 		l.Data[wi] = w
 		l.Dirty.Set(wi)
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done() })
@@ -107,6 +110,7 @@ func (n *Node) Write(a mem.Addr, w mem.Word, done func()) {
 		l.Dirty.Set(wi)
 		done()
 	})
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{Kind: msg.ReadMiss, Src: n.id, Dst: n.geom.Home(b), Block: b})
 }
 
@@ -116,6 +120,7 @@ func (n *Node) ReadGlobal(a mem.Addr, done func(mem.Word)) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	n.setPending(msg.ReadGlobalReq, b, wi, done)
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{Kind: msg.ReadGlobalReq, Src: n.id, Dst: n.geom.Home(b), Block: b, WordIdx: wi})
 }
 
@@ -128,6 +133,7 @@ func (n *Node) IssueWriteGlobal(e wbuf.Entry) {
 	if l := n.cache.Peek(e.Block); l != nil {
 		l.Data[e.WordIdx] = e.Word
 	}
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{
 		Kind: msg.WriteGlobalReq, Src: n.id, Dst: n.geom.Home(e.Block),
 		Block: e.Block, WordIdx: e.WordIdx, Word: e.Word, Seq: e.Seq,
@@ -141,11 +147,13 @@ func (n *Node) ReadUpdate(a mem.Addr, done func(mem.Word)) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil && l.Update {
+		n.f.RMR.LocalHit(n.id)
 		w := l.Data[wi]
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done(w) })
 		return
 	}
 	n.setPending(msg.ReadUpdateReq, b, wi, done)
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{Kind: msg.ReadUpdateReq, Src: n.id, Dst: n.geom.Home(b), Block: b})
 }
 
@@ -157,10 +165,12 @@ func (n *Node) ResetUpdate(a mem.Addr, done func()) {
 	b := n.geom.BlockOf(a)
 	l := n.cache.Peek(b)
 	if l == nil || !l.Update {
+		n.f.RMR.LocalHit(n.id)
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done() })
 		return
 	}
 	l.Update = false
+	n.f.RMR.RemoteRef(n.id)
 	n.f.Send(&msg.Msg{Kind: msg.ResetUpdateReq, Src: n.id, Dst: n.geom.Home(b), Block: b})
 	n.f.Eng.After(n.f.Time.CacheHit, func() { done() })
 }
@@ -176,6 +186,7 @@ func (n *Node) install(b mem.Block, data []mem.Word) *cache.Line {
 		home := n.geom.Home(victim.Block)
 		switch {
 		case victim.Dirty.Any():
+			n.f.RMR.Writeback(n.id)
 			aux := uint64(0)
 			if victim.Update {
 				aux = 1 // fold the unsubscribe into the write-back

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSimReturnsRMRCounters checks the daemon threads the remote-memory-
+// reference account through: the sim result carries a classified rmr block
+// and /metrics aggregates it across executed jobs.
+func TestSimReturnsRMRCounters(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sim", smallSim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Result *SimResult `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Result == nil || jr.Result.RMR == nil {
+		t.Fatalf("sim result has no rmr block: %s", body)
+	}
+	if jr.Result.RMR.Remote == 0 {
+		t.Fatalf("a work-queue run crossed the interconnect zero times: %+v", jr.Result.RMR)
+	}
+	if jr.Result.RMR.Local == 0 {
+		t.Fatalf("a work-queue run had zero cache hits: %+v", jr.Result.RMR)
+	}
+
+	// /metrics aggregates the account over executed jobs.
+	respM, bodyM := getJSON(t, ts.URL+"/metrics")
+	if respM.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", respM.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(bodyM, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.RMR != *jr.Result.RMR {
+		t.Fatalf("metrics rmr %+v != job rmr %+v", snap.RMR, *jr.Result.RMR)
+	}
+}
+
+// TestRMRSpecKeyStability pins that adding the rmr result field changed no
+// request cache keys: rmr is a result field, not a spec field, so the
+// canonical spec encoding must not mention it.
+func TestRMRSpecKeyStability(t *testing.T) {
+	var s SimSpec
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "rmr") {
+		t.Fatalf("canonical spec mentions rmr: %s", enc)
+	}
+}

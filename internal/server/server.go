@@ -110,6 +110,7 @@ type Server struct {
 	latency metrics.Histogram     // wall milliseconds per executed job
 	msgs    metrics.Collector     // simulated messages, aggregated over runs
 	faults  metrics.FaultCounters // fault/recovery counters, aggregated over runs
+	rmr     metrics.RMRCounters   // remote-memory-reference counters, aggregated over runs
 }
 
 // New builds a Server and its routes.
@@ -330,6 +331,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		if out.Faults != nil {
 			s.faults.Add(*out.Faults)
 		}
+		if out.RMR != nil {
+			s.rmr.Add(*out.RMR)
+		}
 		s.statsMu.Unlock()
 		return out, nil
 	})
@@ -513,6 +517,9 @@ type MetricsSnapshot struct {
 	// Faults aggregates fault-plane injections and transport recovery
 	// over executed sim jobs that enabled fault injection.
 	Faults metrics.FaultCounters `json:"faults"`
+	// RMR aggregates remote-memory-reference classification (local vs
+	// remote shared references, plus writebacks) over executed sim jobs.
+	RMR metrics.RMRCounters `json:"rmr"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -548,6 +555,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	s.statsMu.Lock()
 	snap.Faults = s.faults
+	snap.RMR = s.rmr
 	lat, err := json.Marshal(&s.latency)
 	if err == nil {
 		snap.LatencyMS = lat

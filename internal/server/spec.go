@@ -240,6 +240,10 @@ type SimResult struct {
 	// Faults reports fault injection and transport recovery counters
 	// (present only when the spec enabled the fault plane).
 	Faults *metrics.FaultCounters `json:"faults,omitempty"`
+	// RMR is the run's remote-memory-reference account: every shared
+	// reference classified local (served by the issuing node) or remote
+	// (crossed the interconnect), plus writebacks, summed over processors.
+	RMR *metrics.RMRCounters `json:"rmr,omitempty"`
 }
 
 // run executes the spec on a fresh machine. The returned collector is the
@@ -279,6 +283,10 @@ func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, erro
 	if s.Faults != nil {
 		fc := res.Faults
 		out.Faults = &fc
+	}
+	if res.RMR.Any() {
+		rc := res.RMR
+		out.RMR = &rc
 	}
 	return out, m.Messages(), nil
 }

@@ -1,0 +1,57 @@
+package synczoo
+
+import (
+	"testing"
+
+	"ssmp/internal/litmus"
+	"ssmp/internal/metrics"
+)
+
+func chaosSeeds(t *testing.T) []uint64 {
+	if testing.Short() {
+		return litmus.ChaosSeeds(4)
+	}
+	return litmus.ChaosSeeds(12)
+}
+
+// TestChaosSoakLocks drives the mutual-exclusion witness for every lock
+// algorithm over a misbehaving interconnect (drops, duplicates, delays at
+// the soak's standard rates), each seed jittering the schedule and the
+// fault plane together. The reliable transport must keep every algorithm
+// correct, and the sweep must actually have injected faults and recovered.
+func TestChaosSoakLocks(t *testing.T) {
+	seeds := chaosSeeds(t)
+	rates := litmus.DefaultChaosRates()
+	var total metrics.FaultCounters
+	for _, algo := range LockAlgos() {
+		f, err := SweepMutex(algo, 4, 4, seeds, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(f)
+	}
+	if !total.Any() {
+		t.Fatal("chaos soak injected no faults")
+	}
+	if total.Retries == 0 {
+		t.Fatal("chaos soak exercised no retransmissions")
+	}
+}
+
+// TestChaosSoakBarriers runs the phase-separation witness for every barrier
+// algorithm under the same fault plane.
+func TestChaosSoakBarriers(t *testing.T) {
+	seeds := chaosSeeds(t)
+	rates := litmus.DefaultChaosRates()
+	var total metrics.FaultCounters
+	for _, algo := range BarrierAlgos() {
+		f, err := SweepBarrier(algo, 4, 3, seeds, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(f)
+	}
+	if !total.Any() {
+		t.Fatal("chaos soak injected no faults")
+	}
+}

@@ -1,0 +1,21 @@
+// Package synczoo is a zoo of software synchronization algorithms built
+// only from the machine's Table-1 primitives, benchmarked on equal footing
+// with the paper's hardware mechanisms and scored in the currency of the
+// RMR-complexity literature: remote memory references per operation.
+//
+// Spin locks: test-and-set, test-and-set with bounded exponential backoff,
+// test-and-test-and-set (spin on the cached copy, backoff between RMW
+// attempts), ticket, and the MCS queue lock — plus the paper's hardware
+// cache-based queued lock (CBL). Barriers: sense-reversing centralized,
+// dissemination, 4-ary arrival/wakeup tree (MCS style) — plus the paper's
+// hardware barrier and a reader-initiated-update dissemination variant for
+// the CBL machine that spins on READ-UPDATE-subscribed lines.
+//
+// Every algorithm is registered behind the common Lock/Barrier interfaces
+// with a machine-protocol tag and an allocator-driven constructor, so the
+// same contention-sweep harness, litmus checks, and chaos soak run over all
+// of them. The headline reproduction is Mellor-Crummey & Scott's claim that
+// a queue lock performs O(1) remote references per acquisition while
+// test-and-set grows with the processor count; see bench.go and the pinning
+// test in zoo_test.go.
+package synczoo

@@ -1,0 +1,89 @@
+package synczoo
+
+import (
+	"fmt"
+
+	"ssmp/internal/metrics"
+	"ssmp/internal/network"
+)
+
+// The zoo's litmus checks are simulation-level sweeps, not axiomatic
+// enumerations: the algorithms busy-wait, and an unbounded spin loop has no
+// finite interleaving set for the bccheck enumerator to explore. Instead
+// each run carries its own witness — a non-atomic lock-protected increment
+// for mutual exclusion, a published-phase read for barrier separation — and
+// the sweep drives it across schedule-jitter and fault seeds. The observed
+// outcome set must stay inside the single allowed outcome (the exact
+// final count, every phase separated), mirroring the observed ⊆ allowed
+// discipline of the axiomatic litmus engine.
+
+// CheckMutex runs the mutual-exclusion witness for one lock algorithm and
+// returns an error describing any violation.
+func CheckMutex(algo LockAlgo, o LockBenchOptions) (LockPoint, error) {
+	pt, err := RunLockBench(algo, o)
+	if err != nil {
+		return pt, err
+	}
+	if pt.MutexViolations > 0 {
+		return pt, fmt.Errorf("synczoo: %s p=%d jitter=%d: %d overlapping critical sections",
+			algo.Key, o.Procs, o.Jitter, pt.MutexViolations)
+	}
+	if pt.Final != pt.Want {
+		return pt, fmt.Errorf("synczoo: %s p=%d jitter=%d: lost updates — final %d, want %d",
+			algo.Key, o.Procs, o.Jitter, pt.Final, pt.Want)
+	}
+	return pt, nil
+}
+
+// CheckBarrierSeparation runs the phase-separation witness for one barrier
+// algorithm.
+func CheckBarrierSeparation(algo BarrierAlgo, o BarrierBenchOptions) (BarrierPoint, error) {
+	pt, err := RunBarrierBench(algo, o)
+	if err != nil {
+		return pt, err
+	}
+	if pt.SeparationViolations > 0 {
+		return pt, fmt.Errorf("synczoo: %s p=%d jitter=%d: %d unseparated phases",
+			algo.Key, o.Procs, o.Jitter, pt.SeparationViolations)
+	}
+	return pt, nil
+}
+
+// SweepMutex drives the mutual-exclusion witness across seeds, using each
+// seed as both the schedule-jitter seed and the fault-plane seed (the same
+// convention as the axiomatic engine's chaos sweep). With zero rates the
+// sweep explores alternative legal schedules only. It returns the
+// accumulated fault counters.
+func SweepMutex(algo LockAlgo, procs, iters int, seeds []uint64, rates network.FaultRates) (metrics.FaultCounters, error) {
+	var total metrics.FaultCounters
+	for _, seed := range seeds {
+		o := LockBenchOptions{Procs: procs, Iters: iters, Jitter: seed}
+		if rates != (network.FaultRates{}) && seed != 0 {
+			o.Faults = network.FaultConfig{Seed: seed, Rates: rates}
+		}
+		pt, err := CheckMutex(algo, o)
+		total.Add(pt.Faults)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SweepBarrier drives the phase-separation witness across seeds, with the
+// same seed convention as SweepMutex.
+func SweepBarrier(algo BarrierAlgo, procs, episodes int, seeds []uint64, rates network.FaultRates) (metrics.FaultCounters, error) {
+	var total metrics.FaultCounters
+	for _, seed := range seeds {
+		o := BarrierBenchOptions{Procs: procs, Episodes: episodes, Jitter: seed}
+		if rates != (network.FaultRates{}) && seed != 0 {
+			o.Faults = network.FaultConfig{Seed: seed, Rates: rates}
+		}
+		pt, err := CheckBarrierSeparation(algo, o)
+		total.Add(pt.Faults)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,159 @@
+package synczoo
+
+import (
+	"fmt"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+	"ssmp/internal/syncprim"
+)
+
+// Lock is the zoo's common mutual-exclusion interface; it is the syncprim
+// Locker, so the paper's hardware CBL lock and the software algorithms all
+// satisfy it.
+type Lock = syncprim.Locker
+
+// Barrier is the zoo's common barrier interface (syncprim's Barrier).
+type Barrier = syncprim.Barrier
+
+// Arena hands out whole memory blocks of a machine's address space, so
+// algorithm constructors can lay out their words without false sharing:
+// every flag a processor spins on gets a block of its own unless the
+// algorithm deliberately shares (the centralized barrier's counter, a
+// test-and-set word). Consecutive blocks are homed round-robin across the
+// nodes, spreading directory load.
+type Arena struct {
+	geom mem.Geometry
+	next mem.Block
+}
+
+// NewArena returns an allocator over geom starting at block 1 (block 0 is
+// left free for caller-owned words).
+func NewArena(geom mem.Geometry) *Arena {
+	return &Arena{geom: geom, next: 1}
+}
+
+// Block allocates one fresh block and returns the address of its word 0.
+func (a *Arena) Block() mem.Addr {
+	addr := a.geom.BaseAddr(a.next)
+	a.next++
+	return addr
+}
+
+// Blocks allocates n consecutive blocks and returns the first word's
+// address.
+func (a *Arena) Blocks(n int) mem.Addr {
+	if n < 1 {
+		panic(fmt.Sprintf("synczoo: Blocks(%d)", n))
+	}
+	addr := a.geom.BaseAddr(a.next)
+	a.next += mem.Block(n)
+	return addr
+}
+
+// Geometry returns the arena's address-space geometry.
+func (a *Arena) Geometry() mem.Geometry { return a.geom }
+
+// LockInstance is a constructed lock plus one word of protected data. On
+// the CBL machine Data lies inside the lock's own block (the §4.3
+// colocation rule: the grant carries the data into the lock cache, and a
+// plain read of any other shared block could be stale); on the WBI machine
+// coherent reads have no such constraint and Data gets its own block.
+type LockInstance struct {
+	Lock Lock
+	Data mem.Addr
+}
+
+// LockAlgo is a registered lock algorithm: a stable key for reports and
+// benchmarks, the machine protocol it runs on, and a constructor that lays
+// the lock out in a fresh arena for the given processor count.
+type LockAlgo struct {
+	Key   string
+	Proto core.Protocol
+	New   func(a *Arena, procs int) LockInstance
+}
+
+// BarrierAlgo is a registered barrier algorithm.
+type BarrierAlgo struct {
+	Key   string
+	Proto core.Protocol
+	New   func(a *Arena, procs int) Barrier
+}
+
+// LockAlgos returns the lock zoo. Keys are stable; order is the reporting
+// order.
+func LockAlgos() []LockAlgo {
+	return []LockAlgo{
+		{Key: "tas", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+			return LockInstance{Lock: syncprim.TestAndSetLock{Addr: a.Block()}, Data: a.Block()}
+		}},
+		{Key: "tas-backoff", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+			return LockInstance{Lock: syncprim.BackoffLock{Addr: a.Block()}, Data: a.Block()}
+		}},
+		{Key: "ttas", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+			return LockInstance{Lock: TTASLock{Addr: a.Block()}, Data: a.Block()}
+		}},
+		{Key: "ticket", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+			return LockInstance{
+				Lock: syncprim.TicketLock{TicketAddr: a.Block(), ServingAddr: a.Block()},
+				Data: a.Block(),
+			}
+		}},
+		{Key: "mcs", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+			return LockInstance{
+				Lock: syncprim.MCSLock{
+					TailAddr:   a.Block(),
+					NodeBase:   a.Blocks(procs),
+					BlockWords: a.geom.BlockWords,
+				},
+				Data: a.Block(),
+			}
+		}},
+		{Key: "cbl", Proto: core.ProtoCBL, New: func(a *Arena, procs int) LockInstance {
+			b := a.Block()
+			return LockInstance{Lock: syncprim.CBLLock{Addr: b}, Data: b + 1}
+		}},
+	}
+}
+
+// BarrierAlgos returns the barrier zoo.
+func BarrierAlgos() []BarrierAlgo {
+	return []BarrierAlgo{
+		{Key: "central", Proto: core.ProtoWBI, New: func(a *Arena, procs int) Barrier {
+			return syncprim.SWBarrier{CountAddr: a.Block(), GenAddr: a.Block(), Participants: procs}
+		}},
+		{Key: "dissem", Proto: core.ProtoWBI, New: func(a *Arena, procs int) Barrier {
+			return NewDisseminationBarrier(a, procs)
+		}},
+		{Key: "tree4", Proto: core.ProtoWBI, New: func(a *Arena, procs int) Barrier {
+			return NewTreeBarrier(a, procs)
+		}},
+		{Key: "hw", Proto: core.ProtoCBL, New: func(a *Arena, procs int) Barrier {
+			return syncprim.HWBarrier{Addr: a.Block(), Participants: procs}
+		}},
+		{Key: "ruc-dissem", Proto: core.ProtoCBL, New: func(a *Arena, procs int) Barrier {
+			return NewRUCDisseminationBarrier(a, procs)
+		}},
+	}
+}
+
+// LockAlgoByKey returns the registered lock algorithm with the given key.
+func LockAlgoByKey(key string) (LockAlgo, error) {
+	for _, al := range LockAlgos() {
+		if al.Key == key {
+			return al, nil
+		}
+	}
+	return LockAlgo{}, fmt.Errorf("synczoo: unknown lock algorithm %q", key)
+}
+
+// BarrierAlgoByKey returns the registered barrier algorithm with the given
+// key.
+func BarrierAlgoByKey(key string) (BarrierAlgo, error) {
+	for _, al := range BarrierAlgos() {
+		if al.Key == key {
+			return al, nil
+		}
+	}
+	return BarrierAlgo{}, fmt.Errorf("synczoo: unknown barrier algorithm %q", key)
+}

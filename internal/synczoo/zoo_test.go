@@ -1,0 +1,175 @@
+package synczoo
+
+import (
+	"testing"
+
+	"ssmp/internal/core"
+	"ssmp/internal/network"
+)
+
+// noopLock grants everyone the lock immediately — a deliberately broken
+// algorithm for checking the witnesses detect violations.
+type noopLock struct{}
+
+func (noopLock) Acquire(*core.Proc) {}
+func (noopLock) Release(*core.Proc) {}
+func (noopLock) Name() string       { return "broken" }
+
+// noopBarrier separates nothing and skews processor 0 far behind, so the
+// phase witness is guaranteed to observe an unseparated neighbour.
+type noopBarrier struct{}
+
+func (noopBarrier) Wait(p *core.Proc) {
+	if p.Id() == 0 {
+		p.Think(100_000)
+	}
+}
+func (noopBarrier) Name() string { return "broken" }
+
+func jitterSeeds(t *testing.T) []uint64 {
+	if testing.Short() {
+		return []uint64{0, 1, 2}
+	}
+	return []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+}
+
+// TestLockAlgosMutex sweeps every lock algorithm across jitter seeds: every
+// legal schedule must uphold mutual exclusion exactly (observed final count
+// ⊆ the single allowed outcome).
+func TestLockAlgosMutex(t *testing.T) {
+	for _, algo := range LockAlgos() {
+		algo := algo
+		t.Run(algo.Key, func(t *testing.T) {
+			for _, seed := range jitterSeeds(t) {
+				if _, err := CheckMutex(algo, LockBenchOptions{
+					Procs: 4, Iters: 6, Crit: 16, Delay: 32, Jitter: seed,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierAlgosSeparation sweeps every barrier algorithm across jitter
+// seeds: every schedule must separate the phases.
+func TestBarrierAlgosSeparation(t *testing.T) {
+	for _, algo := range BarrierAlgos() {
+		algo := algo
+		t.Run(algo.Key, func(t *testing.T) {
+			for _, seed := range jitterSeeds(t) {
+				if _, err := CheckBarrierSeparation(algo, BarrierBenchOptions{
+					Procs: 4, Episodes: 3, Work: 40, Jitter: seed,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestLockBenchDeterministic pins seed-0 bit-identity: two fresh machines
+// running the same lock workload must produce identical measurements, RMR
+// counters included.
+func TestLockBenchDeterministic(t *testing.T) {
+	for _, algo := range LockAlgos() {
+		algo := algo
+		t.Run(algo.Key, func(t *testing.T) {
+			o := LockBenchOptions{Procs: 4, Iters: 5, Crit: 16, Delay: 32}
+			a, err := RunLockBench(algo, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunLockBench(algo, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("nondeterministic bench:\n  %+v\n  %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestBarrierBenchDeterministic pins the barrier measurements the same way.
+func TestBarrierBenchDeterministic(t *testing.T) {
+	for _, algo := range BarrierAlgos() {
+		algo := algo
+		t.Run(algo.Key, func(t *testing.T) {
+			o := BarrierBenchOptions{Procs: 4, Episodes: 3, Work: 40}
+			a, err := RunBarrierBench(algo, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunBarrierBench(algo, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("nondeterministic bench:\n  %+v\n  %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestMCSFlatVsTASGrowth pins the zoo's headline reproduction — the MCS
+// queue lock's O(1) remote references per acquisition against test-and-
+// set's growth with the processor count (Mellor-Crummey & Scott).
+func TestMCSFlatVsTASGrowth(t *testing.T) {
+	rmrPerAcq := func(key string, procs int) float64 {
+		algo, err := LockAlgoByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := RunLockBench(algo, LockBenchOptions{Procs: procs, Iters: 6, Crit: 16, Delay: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pt.Verified() {
+			t.Fatalf("%s p=%d: exclusion violated (%+v)", key, procs, pt)
+		}
+		return pt.RMRPerAcq()
+	}
+
+	small, large := 4, 32
+	mcsSmall, mcsLarge := rmrPerAcq("mcs", small), rmrPerAcq("mcs", large)
+	tasSmall, tasLarge := rmrPerAcq("tas", small), rmrPerAcq("tas", large)
+	t.Logf("rmr/acq: mcs %d->%d: %.2f -> %.2f; tas %d->%d: %.2f -> %.2f",
+		small, large, mcsSmall, mcsLarge, small, large, tasSmall, tasLarge)
+
+	// MCS stays O(1)-flat: growing the machine 8x may not even double the
+	// per-acquisition remote traffic.
+	if mcsLarge > 2*mcsSmall {
+		t.Errorf("mcs rmr/acq grew with procs: %.2f at p=%d vs %.2f at p=%d",
+			mcsLarge, large, mcsSmall, small)
+	}
+	// Test-and-set grows with the processor count: every release triggers a
+	// re-read and re-acquire storm across all spinners.
+	if tasLarge < 2*tasSmall {
+		t.Errorf("tas rmr/acq did not grow with procs: %.2f at p=%d vs %.2f at p=%d",
+			tasLarge, large, tasSmall, small)
+	}
+	// And at scale the two algorithms separate clearly.
+	if tasLarge < 3*mcsLarge {
+		t.Errorf("tas (%.2f) does not separate from mcs (%.2f) at p=%d",
+			tasLarge, mcsLarge, large)
+	}
+}
+
+// TestSweepsRejectBrokenAlgorithms checks the witnesses have teeth: a lock
+// that does nothing must fail the mutex sweep, and a barrier that does
+// nothing must fail separation.
+func TestSweepsRejectBrokenAlgorithms(t *testing.T) {
+	broken := LockAlgo{Key: "broken", Proto: core.ProtoWBI, New: func(a *Arena, procs int) LockInstance {
+		return LockInstance{Lock: noopLock{}, Data: a.Block()}
+	}}
+	if _, err := SweepMutex(broken, 4, 4, []uint64{0}, network.FaultRates{}); err == nil {
+		t.Fatal("no-op lock passed the mutual-exclusion sweep")
+	}
+	brokenBar := BarrierAlgo{Key: "broken", Proto: core.ProtoWBI, New: func(a *Arena, procs int) Barrier {
+		return noopBarrier{}
+	}}
+	if _, err := SweepBarrier(brokenBar, 4, 3, []uint64{0}, network.FaultRates{}); err == nil {
+		t.Fatal("no-op barrier passed the separation sweep")
+	}
+}

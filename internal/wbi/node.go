@@ -70,6 +70,7 @@ func (n *Node) Read(a mem.Addr, done func(mem.Word)) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil {
+		n.f.RMR.LocalHit(n.id)
 		w := l.Data[wi]
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done(w) })
 		return
@@ -84,6 +85,7 @@ func (n *Node) Write(a mem.Addr, w mem.Word, done func()) {
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil && l.Excl {
+		n.f.RMR.LocalHit(n.id)
 		l.Data[wi] = w
 		l.Dirty.Set(wi)
 		n.f.Eng.After(n.f.Time.CacheHit, func() { done() })
@@ -103,6 +105,7 @@ func (n *Node) RMW(a mem.Addr, op func(mem.Word) mem.Word, done func(old mem.Wor
 	b := n.geom.BlockOf(a)
 	wi := n.geom.WordIndex(a)
 	if l := n.cache.Lookup(b); l != nil && l.Excl {
+		n.f.RMR.LocalHit(n.id)
 		old := l.Data[wi]
 		l.Data[wi] = op(old)
 		l.Dirty.Set(wi)
@@ -117,6 +120,7 @@ func (n *Node) start(p *pending) {
 		panic(fmt.Sprintf("wbi: node %d issued a request with one outstanding", n.id))
 	}
 	n.pend = p
+	n.f.RMR.RemoteRef(n.id)
 	kind := msg.GetS
 	if p.isX {
 		kind = msg.GetX
@@ -170,6 +174,7 @@ func (n *Node) installBlock(b mem.Block, data []mem.Word) *cache.Line {
 // evictDirty issues a PutX for a dirty victim, retaining the data until the
 // home acknowledges so forwarded requests can be served meanwhile.
 func (n *Node) evictDirty(v cache.Victim) {
+	n.f.RMR.Writeback(n.id)
 	n.wb[v.Block] = wbEntry{data: v.Data}
 	n.f.Send(&msg.Msg{
 		Kind: msg.PutX, Src: n.id, Dst: n.geom.Home(v.Block),

@@ -42,6 +42,7 @@ import (
 	"ssmp/internal/network"
 	"ssmp/internal/sim"
 	"ssmp/internal/syncprim"
+	"ssmp/internal/synczoo"
 	"ssmp/internal/trace"
 	"ssmp/internal/workload"
 )
@@ -139,6 +140,55 @@ type (
 // colocated with its lock's block (the §4.3 colocation rule), so the lock
 // grant carries the count.
 func NewCBLSemaphore(blockAddr Addr) Semaphore { return syncprim.NewCBLSemaphore(blockAddr) }
+
+// Synchronization-algorithm zoo (package synczoo): every software lock and
+// barrier over the Table-1 primitives plus the hardware CBL lock and
+// barrier, behind one registry, with remote-memory-reference accounting.
+type (
+	// SyncArena hands out disjoint cache blocks for a sync algorithm's
+	// shared variables.
+	SyncArena = synczoo.Arena
+	// LockAlgo is one registered lock algorithm (key, protocol, factory).
+	LockAlgo = synczoo.LockAlgo
+	// BarrierAlgo is one registered barrier algorithm.
+	BarrierAlgo = synczoo.BarrierAlgo
+	// LockInstance is a constructed lock plus its protected data word.
+	LockInstance = synczoo.LockInstance
+	// TTASLock is test-and-test-and-set with bounded exponential backoff.
+	TTASLock = synczoo.TTASLock
+	// DisseminationBarrier is the log-round software barrier.
+	DisseminationBarrier = synczoo.DisseminationBarrier
+	// TreeBarrier is the 4-ary MCS-style tree barrier.
+	TreeBarrier = synczoo.TreeBarrier
+	// LockBenchPoint is one measured contention-sweep point (a
+	// mutual-exclusion witness rides along).
+	LockBenchPoint = synczoo.LockPoint
+	// BarrierBenchPoint is one measured barrier-sweep point.
+	BarrierBenchPoint = synczoo.BarrierPoint
+)
+
+// NewSyncArena returns an arena allocating from a machine's geometry
+// (Machine.Geometry), starting above the reserved block.
+func NewSyncArena(g mem.Geometry) *SyncArena { return synczoo.NewArena(g) }
+
+// LockAlgos returns every registered lock algorithm; BarrierAlgos every
+// registered barrier algorithm.
+func LockAlgos() []LockAlgo { return synczoo.LockAlgos() }
+
+// BarrierAlgos returns the registered barrier algorithms.
+func BarrierAlgos() []BarrierAlgo { return synczoo.BarrierAlgos() }
+
+// RunLockBench measures one lock algorithm under contention and verifies
+// mutual exclusion; RunBarrierBench does the same for barriers.
+func RunLockBench(a LockAlgo, o synczoo.LockBenchOptions) (LockBenchPoint, error) {
+	return synczoo.RunLockBench(a, o)
+}
+
+// RunBarrierBench measures one barrier algorithm and verifies episode
+// separation.
+func RunBarrierBench(a BarrierAlgo, o synczoo.BarrierBenchOptions) (BarrierBenchPoint, error) {
+	return synczoo.RunBarrierBench(a, o)
+}
 
 // Workload models (package workload).
 type (
@@ -258,6 +308,17 @@ type (
 	FaultRates = network.FaultRates
 	// FaultCounters reports injections and transport recovery.
 	FaultCounters = metrics.FaultCounters
+)
+
+// Remote-memory-reference accounting. Every shared reference is classified
+// at the cache/fabric layer as local (served within the issuing node) or
+// remote (crossed the interconnect); Result.RMR carries the run's totals
+// and Machine.RMRs the per-processor account.
+type (
+	// RMRCounters is a local/remote/writeback reference tally.
+	RMRCounters = metrics.RMRCounters
+	// RMRAccount attributes RMRCounters to each issuing processor.
+	RMRAccount = metrics.RMRAccount
 )
 
 // History verification (package history).
