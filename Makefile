@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke bench-sync litmus synczoo chaos cover serve clean
+.PHONY: build test race vet bench bench-json bench-smoke bench-sync bench-pdes pdes litmus synczoo chaos cover serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -46,6 +46,27 @@ bench-sync:
 		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) \
 			-out results/BENCH_6.json -latest results/BENCH_latest.json
 	@cat results/BENCH_6.json
+
+# PDES scaling record: the 512-node stencil swept across engine worker
+# counts (workers=0 is the classic serial engine), with within-report
+# speedup ratios against that serial baseline annotated as vs_base (see
+# cmd/benchjson -ratio-base). Written to results/BENCH_7.json. The report's
+# "cpus" field matters when reading the curve: wall-clock speedup cannot
+# exceed min(workers, cpus).
+bench-pdes:
+	$(GO) test '-bench=PDESStencil' -benchmem -benchtime=2x -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -ratio-base=workers=0 \
+			-out results/BENCH_7.json -latest results/BENCH_latest.json
+	@cat results/BENCH_7.json
+
+# PDES determinism gate: the parallel engine's unit tests plus every
+# workers=1-vs-N equality property (engine, workload, harness, daemon)
+# under the race detector.
+pdes:
+	$(GO) test -race ./internal/sim/
+	$(GO) test -race -run 'PDES|Parallel|Stencil|SimWorkers' \
+		./internal/core/ ./internal/workload/ ./internal/harness/ ./internal/server/
+	$(GO) test '-bench=PDESStencil/workers=(0|2)$$' -benchtime=1x -run=^$$ .
 
 # Synchronization-zoo litmus: the mutual-exclusion and barrier-separation
 # witnesses for every zoo algorithm, swept across jitter seeds under the

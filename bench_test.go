@@ -865,3 +865,40 @@ func BenchmarkLitmusCorpus(b *testing.B) {
 	b.ReportMetric(float64(states), "states")
 	b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
 }
+
+// BenchmarkPDESStencil sweeps the parallel engine's worker count on a
+// 512-node nearest-neighbour stencil — the PDES scaling workload. The
+// workers=0 variant is the classic serial engine, i.e. the sequential
+// simulator every PDES speedup curve is measured against; workers>=1 run
+// the time-windowed lane engine. All variants produce bit-identical
+// strips (checked against the sequential reference each run).
+func BenchmarkPDESStencil(b *testing.B) {
+	spec := workload.StencilSpec{Procs: 1024, CellsPer: 48, Iters: 6, Work: 8}
+	want := spec.Reference()
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := ssmp.DefaultConfig(spec.Procs)
+				cfg.IdealNetwork = true
+				cfg.SimWorkers = w
+				m := core.NewMachine(cfg)
+				progs, strips := spec.Programs(m.Geometry())
+				res, err := m.Run(progs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = uint64(res.Cycles)
+				for pid, strip := range strips {
+					for c, v := range strip {
+						if v != want[pid*spec.CellsPer+c] {
+							b.Fatalf("workers=%d: cell (%d,%d) diverged from the sequential reference", w, pid, c)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles/op")
+		})
+	}
+}

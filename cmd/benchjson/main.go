@@ -11,6 +11,12 @@
 // before-vs-after ratios next to the new numbers. -latest mirrors the
 // report to a stable path (results/BENCH_latest.json) so scripts can read
 // the newest record without knowing the PR numbering.
+//
+// -ratio-base computes within-report speedup curves: given a sub-benchmark
+// suffix (e.g. "workers=1"), every entry "X/variant" is annotated with the
+// ratio of its sibling "X/workers=1" — the shape scaling benchmarks want,
+// where the interesting number is speedup over the same report's base
+// variant, not over a previous commit.
 package main
 
 import (
@@ -47,6 +53,19 @@ type Entry struct {
 	// Baseline carries the matching entry of the -baseline file, plus
 	// speedup ratios, when one was given.
 	Baseline *Comparison `json:"baseline,omitempty"`
+	// VsBase carries the within-report ratio against the -ratio-base
+	// sibling variant, when one was given and the sibling exists.
+	VsBase *BaseRatio `json:"vs_base,omitempty"`
+}
+
+// BaseRatio relates an entry to the same report's base variant.
+type BaseRatio struct {
+	// Base is the full name of the base entry ("X/workers=1").
+	Base    string  `json:"base"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is base ns/op divided by this entry's ns/op (>1 is faster
+	// than the base variant).
+	Speedup float64 `json:"speedup"`
 }
 
 // Comparison relates an entry to its baseline counterpart.
@@ -61,17 +80,22 @@ type Comparison struct {
 
 // Report is the file benchjson writes.
 type Report struct {
-	GeneratedAt string  `json:"generated_at"`
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	Entries     []Entry `json:"entries"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// CPUs records the host's logical CPU count — essential context for
+	// parallel-speedup records: a workers=N curve cannot show wall-clock
+	// speedup beyond min(N, CPUs).
+	CPUs    int     `json:"cpus"`
+	Entries []Entry `json:"entries"`
 }
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson report to compare against")
 	latest := flag.String("latest", "", "stable path to mirror the report to (e.g. results/BENCH_latest.json)")
+	ratioBase := flag.String("ratio-base", "", "sub-benchmark suffix to compute within-report speedups against (e.g. workers=1)")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin)
@@ -86,12 +110,16 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *ratioBase != "" {
+		ratioAgainstBase(entries, *ratioBase)
+	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
 		Entries:     entries,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -191,6 +219,34 @@ func parse(r *os.File) ([]Entry, error) {
 		out = append(out, best[name])
 	}
 	return out, nil
+}
+
+// ratioAgainstBase annotates every entry whose sibling "<parent>/<base>"
+// exists in the same report with its speedup over that sibling. The base
+// entry itself is skipped (its ratio is 1 by construction), as are entries
+// with no "/" (they have no variant structure to compare within).
+func ratioAgainstBase(entries []Entry, base string) {
+	bases := map[string]Entry{}
+	for _, e := range entries {
+		if i := strings.LastIndex(e.Name, "/"); i > 0 && e.Name[i+1:] == base {
+			bases[e.Name[:i]] = e
+		}
+	}
+	for i := range entries {
+		j := strings.LastIndex(entries[i].Name, "/")
+		if j <= 0 || entries[i].Name[j+1:] == base {
+			continue
+		}
+		b, ok := bases[entries[i].Name[:j]]
+		if !ok || b.NsPerOp == 0 || entries[i].NsPerOp == 0 {
+			continue
+		}
+		entries[i].VsBase = &BaseRatio{
+			Base:    b.Name,
+			NsPerOp: b.NsPerOp,
+			Speedup: b.NsPerOp / entries[i].NsPerOp,
+		}
+	}
 }
 
 // compare annotates entries with ratios against a previous report.

@@ -14,6 +14,13 @@
 //
 // SIGINT/SIGTERM drain gracefully: in-flight jobs finish (up to
 // -drain-timeout), new jobs get 503.
+//
+// Profiling a live daemon: -debug-addr serves net/http/pprof on a separate
+// listener (keep it off the service address — it is unauthenticated), and
+// -cpuprofile/-memprofile write whole-process profiles on shutdown:
+//
+//	ssmpd -addr :8080 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -22,8 +29,11 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -39,9 +49,34 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on requested per-job timeouts")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the daemon's lifetime to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			logger.Fatalf("ssmpd: cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Fatalf("ssmpd: cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *debugAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serve that mux
+		// only on the dedicated debug listener so the service address never
+		// exposes it.
+		go func() {
+			logger.Printf("ssmpd: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+				logger.Printf("ssmpd: debug listener: %v", err)
+			}
+		}()
+	}
 	var srvLog *log.Logger
 	if !*quiet {
 		srvLog = logger
@@ -79,6 +114,17 @@ func main() {
 	}
 	if err := s.Shutdown(ctx); err != nil {
 		logger.Fatalf("ssmpd: drain incomplete: %v", err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			logger.Fatalf("ssmpd: memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			logger.Fatalf("ssmpd: memprofile: %v", err)
+		}
 	}
 	logger.Printf("ssmpd: bye")
 }

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	ssmpsim -procs 16 -proto cbl -consistency bc -workload queue -grain 128
+//
+// The stencil workload plus -workers drives the parallel (PDES) engine:
+//
+//	ssmpsim -procs 512 -workload stencil -ideal-net -workers 8 -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -11,8 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ssmp"
+	"ssmp/internal/mem"
 	"ssmp/internal/network"
 )
 
@@ -20,7 +27,7 @@ func main() {
 	procs := flag.Int("procs", 16, "processor count (power of two)")
 	proto := flag.String("proto", "cbl", "machine protocol: cbl | wbi")
 	cons := flag.String("consistency", "bc", "memory model (cbl machine): bc | sc")
-	wl := flag.String("workload", "queue", "workload model: sync | queue")
+	wl := flag.String("workload", "queue", "workload model: sync | queue | stencil")
 	grain := flag.Int("grain", ssmp.MediumGrain, "references per task (granularity)")
 	episodes := flag.Int("episodes", 8, "sync model: episodes per processor")
 	tasks := flag.Int("tasks", 128, "queue model: initial tasks")
@@ -34,6 +41,12 @@ func main() {
 	dirPtrs := flag.Int("dir-pointers", 0, "wbi: limited directory pointer count (0 = full map)")
 	topology := flag.String("topology", "omega", "interconnect: omega | mesh | bus")
 	msgTrace := flag.Bool("msgtrace", false, "dump every message to stderr")
+	workers := flag.Int("workers", 0, "parallel (PDES) engine workers; 0 = serial engine, requires -ideal-net")
+	jitter := flag.Uint64("jitter", 0, "schedule-jitter seed (0 = canonical schedule)")
+	cells := flag.Int("cells", 64, "stencil: cells per processor strip")
+	iters := flag.Int("iters", 20, "stencil: Jacobi iterations")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	cfg := ssmp.DefaultConfig(*procs)
@@ -58,6 +71,8 @@ func main() {
 	cfg.DirectHandoff = *directHandoff
 	cfg.WriteUpdate = *writeUpdate
 	cfg.DirMaxPointers = *dirPtrs
+	cfg.SimWorkers = *workers
+	cfg.Jitter = *jitter
 	switch *topology {
 	case "omega":
 	case "mesh":
@@ -67,25 +82,53 @@ func main() {
 	default:
 		log.Fatalf("unknown topology %q", *topology)
 	}
-
-	p := ssmp.DefaultWorkloadParams()
-	p.Grain = *grain
-	layout := ssmp.NewLayout(cfg, p)
-	var kit ssmp.SyncKit
-	if cfg.Protocol == ssmp.ProtoCBL {
-		kit = ssmp.CBLKit(layout, *procs)
-	} else {
-		kit = ssmp.WBIKit(layout, *procs, *backoff)
+	if *workers > 0 && !*ideal {
+		log.Fatalf("-workers requires -ideal-net (the parallel engine's lane-safety precondition)")
 	}
 
 	var progs []ssmp.Program
+	var stencilStrips [][]float64
+	var stencilSpec ssmp.StencilSpec
+	kitName := "none"
 	switch *wl {
-	case "sync":
-		progs = ssmp.SyncModel(*procs, *episodes, p, layout, kit, *seed)
-	case "queue":
-		progs, _ = ssmp.WorkQueue(*procs, *tasks, *spawn, p, layout, kit, *seed)
+	case "sync", "queue":
+		p := ssmp.DefaultWorkloadParams()
+		p.Grain = *grain
+		layout := ssmp.NewLayout(cfg, p)
+		var kit ssmp.SyncKit
+		if cfg.Protocol == ssmp.ProtoCBL {
+			kit = ssmp.CBLKit(layout, *procs)
+		} else {
+			kit = ssmp.WBIKit(layout, *procs, *backoff)
+		}
+		kitName = kit.Name
+		if *wl == "sync" {
+			progs = ssmp.SyncModel(*procs, *episodes, p, layout, kit, *seed)
+		} else {
+			progs, _ = ssmp.WorkQueue(*procs, *tasks, *spawn, p, layout, kit, *seed)
+		}
+	case "stencil":
+		if cfg.Protocol != ssmp.ProtoCBL {
+			log.Fatalf("the stencil workload is CBL-only")
+		}
+		stencilSpec = ssmp.StencilSpec{Procs: *procs, CellsPer: *cells, Iters: *iters}
+		kitName = "pairwise-HW-barrier"
+		progs, stencilStrips = stencilSpec.Programs(
+			mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes})
 	default:
 		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	m := ssmp.NewMachine(cfg)
@@ -99,9 +142,39 @@ func main() {
 	}
 
 	fmt.Printf("machine:        %d-node %v (%v), %s workload, %s sync\n",
-		*procs, cfg.Protocol, cfg.Consistency, *wl, kit.Name)
+		*procs, cfg.Protocol, cfg.Consistency, *wl, kitName)
+	if m.Lanes() > 0 {
+		fmt.Printf("engine:         parallel, %d lanes, %d workers\n", m.Lanes(), *workers)
+	} else {
+		fmt.Printf("engine:         serial\n")
+	}
 	fmt.Printf("completion:     %d cycles\n", res.Cycles)
 	fmt.Printf("messages:       %d\n", res.Messages)
 	fmt.Printf("net latency:    %.2f cycles mean, %.2f queueing\n", res.MeanNetLatency, res.MeanNetQueueing)
 	fmt.Printf("by kind:        %s\n", m.Messages())
+	if *wl == "stencil" {
+		ref := stencilSpec.Reference()
+		for pid, strip := range stencilStrips {
+			for i, v := range strip {
+				if v != ref[pid*stencilSpec.CellsPer+i] {
+					fmt.Fprintf(os.Stderr, "stencil cell (%d,%d) diverged from the sequential reference\n", pid, i)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("stencil:        %d cells x %d iterations, bit-exact vs sequential reference\n",
+			*procs**cells, *iters)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}
 }

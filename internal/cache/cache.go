@@ -68,11 +68,19 @@ type Stats struct {
 }
 
 // Cache is a set-associative cache with LRU replacement within a set.
+//
+// Set storage is allocated lazily, on the first Allocate that touches a
+// set: a machine builds one cache per node, so a 1024-node machine with
+// the default 512x2 geometry would otherwise zero a million Line structs
+// (~100 MB) up front — by far the dominant cost of machine construction —
+// while most workloads touch a handful of sets per node. Untouched sets
+// behave exactly like sets full of invalid lines, so the laziness is
+// invisible to the protocol.
 type Cache struct {
 	geom  mem.Geometry
 	sets  int
 	ways  int
-	lines []Line
+	lines [][]Line // indexed by set; nil until the set is first allocated
 	tick  uint64
 	stats Stats
 }
@@ -85,15 +93,7 @@ func New(geom mem.Geometry, sets, ways int) *Cache {
 	if ways < 1 {
 		panic(fmt.Sprintf("cache: ways must be >= 1, got %d", ways))
 	}
-	c := &Cache{geom: geom, sets: sets, ways: ways, lines: make([]Line, sets*ways)}
-	// One backing array for all line data: a machine builds a cache per
-	// node, and per-line allocations dominate construction cost.
-	backing := make([]mem.Word, sets*ways*geom.BlockWords)
-	for i := range c.lines {
-		c.lines[i].ResetPointers()
-		c.lines[i].Data = backing[i*geom.BlockWords : (i+1)*geom.BlockWords : (i+1)*geom.BlockWords]
-	}
-	return c
+	return &Cache{geom: geom, sets: sets, ways: ways, lines: make([][]Line, sets)}
 }
 
 // Sets returns the number of sets.
@@ -108,9 +108,28 @@ func (c *Cache) Capacity() int { return c.sets * c.ways }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// set returns block b's set, or nil if the set has never been allocated
+// (equivalent to a set full of invalid lines).
 func (c *Cache) set(b mem.Block) []Line {
+	return c.lines[int(uint64(b)&uint64(c.sets-1))]
+}
+
+// setAlloc returns block b's set, materializing it on first touch. One
+// backing array holds all of the set's line data, keeping it to two
+// allocations per set ever touched.
+func (c *Cache) setAlloc(b mem.Block) []Line {
 	s := int(uint64(b) & uint64(c.sets-1))
-	return c.lines[s*c.ways : (s+1)*c.ways]
+	set := c.lines[s]
+	if set == nil {
+		set = make([]Line, c.ways)
+		backing := make([]mem.Word, c.ways*c.geom.BlockWords)
+		for i := range set {
+			set[i].ResetPointers()
+			set[i].Data = backing[i*c.geom.BlockWords : (i+1)*c.geom.BlockWords : (i+1)*c.geom.BlockWords]
+		}
+		c.lines[s] = set
+	}
+	return set
 }
 
 // Lookup returns the line holding block b, counting a hit or miss and
@@ -157,7 +176,7 @@ type Victim struct {
 //
 // Allocate panics if b is already cached: the caller must Lookup first.
 func (c *Cache) Allocate(b mem.Block) (line *Line, victim Victim, evicted bool) {
-	set := c.set(b)
+	set := c.setAlloc(b)
 	var pick *Line
 	for i := range set {
 		if set[i].Valid && set[i].Block == b {
@@ -219,11 +238,13 @@ func (c *Cache) Invalidate(b mem.Block) (Victim, bool) {
 	return Victim{}, false
 }
 
-// ForEach calls fn for every valid line.
+// ForEach calls fn for every valid line, in set order.
 func (c *Cache) ForEach(fn func(*Line)) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			fn(&c.lines[i])
+	for _, set := range c.lines {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
 		}
 	}
 }

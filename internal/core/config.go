@@ -128,6 +128,22 @@ type Config struct {
 	// FaultRTO overrides the transport's retry timing when Faults is
 	// enabled; zero fields take fabric.DefaultTransportConfig.
 	FaultRTO fabric.TransportConfig
+	// SimWorkers opts the run into the parallel (PDES) simulation engine:
+	// the event population is partitioned into one lane per node and run by
+	// a pool of this many worker threads under a conservative time-windowed
+	// loop with a deterministic mailbox merge (internal/sim/pdes.go).
+	// Results are bit-identical at every worker count >= 1 — workers only
+	// size the thread pool; every ordering key is fixed by the config — but
+	// follow the lane-keyed event order, which is its own deterministic
+	// discipline, distinct from the serial engine's global insertion order.
+	// 0 (the default) keeps the classic serial engine and its exact event
+	// order, so existing golden digests are untouched. Lane mode requires
+	// the ideal (contention-free) network — switch-port contention is
+	// global, timestamp-ordered state with zero lookahead — so a config
+	// that is not lane-safe degrades to the serial engine (Machine.Lanes
+	// reports the decision). History recording, message tracing, and OnOp
+	// observers are serial-only and panic under lane mode.
+	SimWorkers int
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 4):
@@ -167,6 +183,9 @@ func (c Config) Validate() error {
 	}
 	if c.Horizon == 0 {
 		return fmt.Errorf("core: Horizon must be positive")
+	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("core: SimWorkers must be >= 0, got %d", c.SimWorkers)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"ssmp/internal/barrier"
 	"ssmp/internal/cache"
@@ -44,65 +45,110 @@ type node struct {
 // Machine is a simulated multiprocessor.
 type Machine struct {
 	cfg   Config
-	eng   *sim.Engine
+	eng   *sim.Engine   // serial engine; nil under lane mode
+	par   *sim.Parallel // PDES coordinator; nil under the serial engine
 	net   *network.Network
-	fab   *fabric.Fabric
+	fab   *fabric.Fabric   // root fabric; aggregation target under lane mode
+	views []*fabric.Fabric // per-node fabric views (lane mode only)
 	geom  mem.Geometry
 	nodes []*node
 
 	running  bool
 	aborting bool
-	finished int
+	finished atomic.Int32
 	hist     *history.Recorder
 	onOp     func(OpRecord)
 }
 
 // NewMachine builds a machine; it panics on an invalid configuration.
+//
+// With Config.SimWorkers > 0 on a lane-safe configuration (ideal network),
+// the machine is assembled in lane mode: one sim engine per node, per-node
+// fabric views with their own message collectors and transport instances,
+// and a PDES coordinator whose lookahead is the network's minimum
+// cross-node latency. Everything a node's controllers touch — store, cache,
+// lock cache, write buffer, RMR row, per-link fault streams and transport
+// state — is owned by that node's lane; the only cross-lane channel is the
+// network, whose deliveries go through the coordinator's deterministic
+// window merge. A non-lane-safe configuration degrades to the serial
+// engine; Lanes reports the decision.
 func NewMachine(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
-	eng.SetHorizon(cfg.Horizon)
-	if cfg.Jitter != 0 {
-		eng.SetJitter(cfg.Jitter)
+	lanes := cfg.SimWorkers > 0 && cfg.IdealNetwork
+	var eng *sim.Engine
+	var par *sim.Parallel
+	var nw *network.Network
+	if lanes {
+		par = sim.NewParallel(cfg.Nodes)
+		par.SetHorizon(cfg.Horizon)
+		if cfg.Jitter != 0 {
+			par.SetJitter(cfg.Jitter)
+		}
+		nw = network.NewParallel(par, cfg.netConfig())
+	} else {
+		eng = sim.NewEngine()
+		eng.SetHorizon(cfg.Horizon)
+		if cfg.Jitter != 0 {
+			eng.SetJitter(cfg.Jitter)
+		}
+		nw = network.New(eng, cfg.netConfig())
 	}
-	nw := network.New(eng, cfg.netConfig())
 	fab := fabric.New(eng, nw, cfg.Timing)
-	if nw.FaultsEnabled() {
+	if !lanes && nw.FaultsEnabled() {
 		// A faulty fabric needs the reliable transport above it; the two
 		// are enabled together so the protocol controllers always see
 		// exactly-once, per-link-FIFO delivery.
 		fab.EnableTransport(cfg.FaultRTO)
 	}
 	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}
-	m := &Machine{cfg: cfg, eng: eng, net: nw, fab: fab, geom: geom}
+	m := &Machine{cfg: cfg, eng: eng, par: par, net: nw, fab: fab, geom: geom}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{id: i, store: mem.NewStore(geom)}
+		nodeEng, nodeFab := eng, fab
+		if lanes {
+			nodeEng = par.Lane(i)
+			nodeFab = fab.View(nodeEng)
+			if nw.FaultsEnabled() {
+				nodeFab.EnableTransport(cfg.FaultRTO)
+			}
+			m.views = append(m.views, nodeFab)
+		}
 		switch cfg.Protocol {
 		case ProtoCBL:
-			n.rucN = ruc.NewNode(fab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
-			n.rucH = ruc.NewHome(fab, i, geom, n.store)
+			n.rucN = ruc.NewNode(nodeFab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
+			n.rucH = ruc.NewHome(nodeFab, i, geom, n.store)
 			n.rucH.WriteUpdateMode = cfg.WriteUpdate
-			n.cblU = cbl.NewUnit(fab, i, geom, cfg.LockEntries)
+			n.cblU = cbl.NewUnit(nodeFab, i, geom, cfg.LockEntries)
 			n.cblU.DirectHandoff = cfg.DirectHandoff
-			n.cblH = cbl.NewHome(fab, i, geom, n.store)
-			n.barU = barrier.NewUnit(fab, i, geom)
-			n.barH = barrier.NewHome(fab, i, geom)
-			n.buf = wbuf.New(eng, cfg.Buf, n.rucN.IssueWriteGlobal)
+			n.cblH = cbl.NewHome(nodeFab, i, geom, n.store)
+			n.barU = barrier.NewUnit(nodeFab, i, geom)
+			n.barH = barrier.NewHome(nodeFab, i, geom)
+			n.buf = wbuf.New(nodeEng, cfg.Buf, n.rucN.IssueWriteGlobal)
 			n.rucN.SetGlobalAckHandler(n.buf.Ack)
 		case ProtoWBI:
-			n.wbiN = wbi.NewNode(fab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
-			n.wbiH = wbi.NewHome(fab, i, geom, n.store)
+			n.wbiN = wbi.NewNode(nodeFab, i, geom, cache.New(geom, cfg.CacheSets, cfg.CacheWays))
+			n.wbiH = wbi.NewHome(nodeFab, i, geom, n.store)
 			n.wbiH.MaxPointers = cfg.DirMaxPointers
 		}
-		n.proc = newProc(m, n)
+		n.proc = newProc(m, n, nodeEng)
 		m.nodes = append(m.nodes, n)
 		i := i
-		fab.Attach(i, func(mg *msg.Msg) { m.dispatch(i, mg) })
+		nodeFab.Attach(i, func(mg *msg.Msg) { m.dispatch(i, mg) })
 	}
 	return m
+}
+
+// Lanes returns the number of PDES lanes the machine runs on, or 0 when it
+// uses the classic serial engine (SimWorkers == 0, or a configuration that
+// is not lane-safe and degraded to serial).
+func (m *Machine) Lanes() int {
+	if m.par == nil {
+		return 0
+	}
+	return m.par.Lanes()
 }
 
 // dispatch routes an inbound message to the owning controller.
@@ -148,8 +194,20 @@ func (m *Machine) Config() Config { return m.cfg }
 // Geometry returns the address-space geometry.
 func (m *Machine) Geometry() mem.Geometry { return m.geom }
 
-// Engine exposes the simulation engine (read-only use recommended).
+// Engine exposes the simulation engine (read-only use recommended). Under
+// lane mode there is no single engine; Engine returns nil and callers
+// needing a clock should use Now.
 func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Now returns the simulation clock: the serial engine's time, or under
+// lane mode the maximum event time fired so far (meaningful between
+// windows — i.e. after the run).
+func (m *Machine) Now() sim.Time {
+	if m.par != nil {
+		return m.par.Now()
+	}
+	return m.eng.Now()
+}
 
 // Proc returns processor i's handle, for use inside its program function.
 func (m *Machine) Proc(i int) *Proc { return m.nodes[i].proc }
@@ -166,14 +224,24 @@ func (m *Machine) RMRs() *metrics.RMRAccount { return m.fab.RMR }
 // EnableHistory turns on operation recording for linearizability checking:
 // every Read/Write/ReadGlobal/WriteGlobal/RMW is logged with its real-time
 // interval. Call before Run; check the returned recorder afterwards.
+// Serial-engine only: the recorder is a single append-ordered log, which
+// lane mode would both race on and order nondeterministically.
 func (m *Machine) EnableHistory() *history.Recorder {
+	if m.par != nil {
+		panic("core: EnableHistory requires the serial engine (SimWorkers=0)")
+	}
 	m.hist = &history.Recorder{}
 	return m.hist
 }
 
 // TraceMessages writes one line per injected message to w — a debugging aid
 // showing cycle, kind, endpoints, block and payload size. Call before Run.
+// Serial-engine only: a single trace stream cannot be written from
+// concurrent lanes.
 func (m *Machine) TraceMessages(w io.Writer) {
+	if m.par != nil {
+		panic("core: TraceMessages requires the serial engine (SimWorkers=0)")
+	}
 	m.fab.OnSend = func(mg *msg.Msg) {
 		fmt.Fprintf(w, "%10d %-18s %2d -> %2d block %-6d words %d\n",
 			m.eng.Now(), mg.Kind, mg.Src, mg.Dst, mg.Block, mg.Words())
@@ -267,14 +335,19 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		panic(fmt.Sprintf("core: %d programs for %d nodes", len(programs), m.cfg.Nodes))
 	}
 	if ctx.Done() != nil {
-		m.eng.SetInterrupt(func() error {
+		poll := func() error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
 			default:
 				return nil
 			}
-		})
+		}
+		if m.par != nil {
+			m.par.SetInterrupt(poll)
+		} else {
+			m.eng.SetInterrupt(poll)
+		}
 	}
 	active := 0
 	for i, prog := range programs {
@@ -285,12 +358,18 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		active++
 		m.nodes[i].proc.start(prog)
 	}
-	m.finished = m.cfg.Nodes - active
-	if err := m.eng.Run(); err != nil {
-		m.drainAborted()
-		return Result{}, fmt.Errorf("core: %w at cycle %d", err, m.eng.Now())
+	m.finished.Store(int32(m.cfg.Nodes - active))
+	var err error
+	if m.par != nil {
+		err = m.par.Run(m.cfg.SimWorkers)
+	} else {
+		err = m.eng.Run()
 	}
-	if m.finished < m.cfg.Nodes {
+	if err != nil {
+		m.drainAborted()
+		return Result{}, fmt.Errorf("core: %w at cycle %d", err, m.Now())
+	}
+	if int(m.finished.Load()) < m.cfg.Nodes {
 		var stuck []int
 		for _, n := range m.nodes {
 			if !n.proc.done {
@@ -305,6 +384,13 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 			return Result{}, fmt.Errorf("core: processor %d panicked: %v", n.id, n.proc.err)
 		}
 	}
+	// Under lane mode, fold the per-view message collectors into the root
+	// fabric's, so Messages() and Result.Messages read as in serial mode.
+	// Sums are order-independent: the merged totals are bit-identical at
+	// any worker count.
+	for _, v := range m.views {
+		m.fab.Coll.Add(v.Coll)
+	}
 	st := m.net.Stats()
 	var utilSum float64
 	var utilN int
@@ -316,16 +402,49 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		utilN++
 	}
 	res := Result{
-		Cycles:          m.eng.Now(),
-		Events:          m.eng.Fired(),
+		Cycles:          m.Now(),
+		Events:          m.events(),
 		Messages:        m.fab.Coll.Total(),
 		MeanNetLatency:  st.MeanLatency(),
 		MeanNetQueueing: st.MeanQueueing(),
-		Faults:          m.fab.FaultCounters(),
+		Faults:          m.faultCounters(),
 		RMR:             m.fab.RMR.Total(),
 	}
 	if utilN > 0 {
 		res.MeanUtilization = utilSum / float64(utilN)
 	}
 	return res, nil
+}
+
+// events returns the total number of kernel events executed.
+func (m *Machine) events() uint64 {
+	if m.par != nil {
+		return m.par.Fired()
+	}
+	return m.eng.Fired()
+}
+
+// faultCounters aggregates fault injection and transport recovery counters.
+// Under lane mode the injection counters come from the network's sharded
+// fault plane and the recovery counters are summed over the per-node
+// transport instances.
+func (m *Machine) faultCounters() metrics.FaultCounters {
+	if m.par == nil {
+		return m.fab.FaultCounters()
+	}
+	fs := m.net.Stats().Faults
+	c := metrics.FaultCounters{
+		Dropped:     fs.Dropped,
+		Duplicated:  fs.Duplicated,
+		Delayed:     fs.Delayed,
+		DelayCycles: uint64(fs.DelayCycles),
+	}
+	for _, v := range m.views {
+		r, d, ro, a := v.TransportStats()
+		c.Retries += r
+		c.DupSuppressed += d
+		c.Reordered += ro
+		c.AcksSent += a
+	}
+	return c
 }

@@ -46,8 +46,14 @@ type OpRecord struct {
 }
 
 // OnOp registers an observer invoked at the *issue* of every primitive.
-// Call before Run. The observer must not call Proc methods.
-func (m *Machine) OnOp(fn func(OpRecord)) { m.onOp = fn }
+// Call before Run. The observer must not call Proc methods. Serial-engine
+// only: a single observer cannot be invoked from concurrent lanes.
+func (m *Machine) OnOp(fn func(OpRecord)) {
+	if m.par != nil {
+		panic("core: OnOp requires the serial engine (SimWorkers=0)")
+	}
+	m.onOp = fn
+}
 
 // beginOp reports a primitive to the observer at issue time and suppresses
 // reports from the primitives it calls internally (a cache hit's Think, an

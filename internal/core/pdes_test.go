@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ssmp/internal/mem"
+	"ssmp/internal/network"
+	"ssmp/internal/sim"
+)
+
+// pdesProgs builds a deterministic mixed workload: per-proc compute,
+// buffered global writes, a hardware barrier, cross-node global reads, and
+// a lock-protected shared counter — every machine layer the PDES lane
+// partition has to keep coherent. The WBI machine has no CBL primitives,
+// so it substitutes coherent reads/writes and an RMW fetch-and-add.
+func pdesProgs(proto Protocol, nodes int) []Program {
+	progs := make([]Program, nodes)
+	const counter mem.Addr = 8192
+	for i := range progs {
+		i := i
+		progs[i] = func(p *Proc) {
+			for it := 0; it < 12; it++ {
+				p.Think(sim.Time(3 + i%5))
+				if proto == ProtoWBI {
+					p.Write(mem.Addr(64*i), mem.Word(it*31+i))
+					_ = p.Read(mem.Addr(64 * ((i + 1) % nodes)))
+					if it%4 == i%4 {
+						p.RMW(counter, func(w mem.Word) mem.Word { return w + 1 })
+					}
+					continue
+				}
+				p.WriteGlobal(mem.Addr(64*i), mem.Word(it*31+i))
+				p.Barrier(4096, nodes)
+				_ = p.ReadGlobal(mem.Addr(64 * ((i + 1) % nodes)))
+				if it%4 == i%4 {
+					p.WriteLock(counter)
+					v := p.Read(counter)
+					p.Write(counter, v+1)
+					p.Unlock(counter)
+				}
+			}
+		}
+	}
+	return progs
+}
+
+func runPDES(t *testing.T, cfg Config, workers int) Result {
+	t.Helper()
+	cfg.SimWorkers = workers
+	m := NewMachine(cfg)
+	res, err := m.Run(pdesProgs(cfg.Protocol, cfg.Nodes))
+	if err != nil {
+		t.Fatalf("workers %d: %v", workers, err)
+	}
+	if workers > 0 && m.Lanes() != cfg.Nodes {
+		t.Fatalf("workers %d: expected %d lanes, got %d", workers, cfg.Nodes, m.Lanes())
+	}
+	return res
+}
+
+// TestPDESWorkerCountEquality is the machine-level determinism bar: the
+// full Result — cycles, events, messages, latencies, utilization, fault
+// and RMR totals — is bit-identical at every worker count, across
+// protocols, jitter seeds, and fault seeds.
+func TestPDESWorkerCountEquality(t *testing.T) {
+	base := DefaultConfig(8)
+	base.IdealNetwork = true
+	cases := map[string]func(*Config){
+		"cbl":    func(c *Config) {},
+		"cbl-sc": func(c *Config) { c.Consistency = SC },
+		"wbi":    func(c *Config) { c.Protocol = ProtoWBI },
+		"jitter": func(c *Config) { c.Jitter = 77 },
+		"faults": func(c *Config) {
+			c.Faults = network.FaultConfig{Seed: 42, Rates: network.FaultRates{Drop: 0.02, Dup: 0.02, Delay: 0.05}}
+		},
+		"jitter-faults": func(c *Config) {
+			c.Jitter = 5
+			c.Faults = network.FaultConfig{Seed: 9, Rates: network.FaultRates{Drop: 0.01, Dup: 0.03, Delay: 0.04}}
+		},
+	}
+	for name, mod := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mod(&cfg)
+			ref := runPDES(t, cfg, 1)
+			for _, w := range []int{2, 8} {
+				if got := runPDES(t, cfg, w); fmt.Sprint(got) != fmt.Sprint(ref) {
+					t.Fatalf("workers %d diverges:\n got %+v\nwant %+v", w, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestPDESFaultsRecover checks the per-view reliable transport actually
+// exercises recovery under lane mode (not just zero counters).
+func TestPDESFaultsRecover(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.IdealNetwork = true
+	cfg.Faults = network.FaultConfig{Seed: 1234, Rates: network.FaultRates{Drop: 0.05, Dup: 0.05, Delay: 0.1}}
+	res := runPDES(t, cfg, 4)
+	f := res.Faults
+	if f.Dropped == 0 || f.Retries == 0 {
+		t.Fatalf("fault plane inert under lane mode: %+v", f)
+	}
+	if f.DupSuppressed == 0 {
+		t.Fatalf("expected duplicate suppression, got %+v", f)
+	}
+}
+
+// TestPDESDegradesToSerial: a contended (non-ideal) network is not
+// lane-safe; the machine must fall back to the classic serial engine and
+// produce exactly the serial result.
+func TestPDESDegradesToSerial(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.SimWorkers = 8 // requested, but not lane-safe: contention on
+	m := NewMachine(cfg)
+	if m.Lanes() != 0 {
+		t.Fatalf("contended network must degrade to serial, got %d lanes", m.Lanes())
+	}
+	res, err := m.Run(pdesProgs(cfg.Protocol, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := cfg
+	serial.SimWorkers = 0
+	m2 := NewMachine(serial)
+	res2, err := m2.Run(pdesProgs(serial.Protocol, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res) != fmt.Sprint(res2) {
+		t.Fatalf("degraded run differs from serial:\n got %+v\nwant %+v", res, res2)
+	}
+}
+
+// TestPDESHorizonError: the horizon fires under the window loop with the
+// same error shape as the serial engine.
+func TestPDESHorizonError(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.IdealNetwork = true
+	cfg.SimWorkers = 2
+	cfg.Horizon = 50 // far too short for the workload
+	m := NewMachine(cfg)
+	_, err := m.Run(pdesProgs(cfg.Protocol, 4))
+	if err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("want horizon error, got %v", err)
+	}
+}
+
+// TestPDESObserversPanic: history recording, message tracing, and op
+// observers are serial-only; lane mode must reject them loudly rather
+// than race.
+func TestPDESObserversPanic(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.IdealNetwork = true
+	cfg.SimWorkers = 2
+	for name, use := range map[string]func(*Machine){
+		"history": func(m *Machine) { m.EnableHistory() },
+		"trace":   func(m *Machine) { m.TraceMessages(&strings.Builder{}) },
+		"onop":    func(m *Machine) { m.OnOp(func(OpRecord) {}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := NewMachine(cfg)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic under lane mode", name)
+				}
+			}()
+			use(m)
+		})
+	}
+}

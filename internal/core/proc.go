@@ -18,9 +18,12 @@ import (
 // synchronization of their own. Proc methods must only be called from
 // within the processor's own Program.
 type Proc struct {
-	id      int
-	m       *Machine
-	n       *node
+	id int
+	m  *Machine
+	n  *node
+	// eng is the engine this processor schedules on: the machine's serial
+	// engine, or under lane mode the node's own lane engine.
+	eng     *sim.Engine
 	resume  chan mem.Word
 	yield   chan struct{}
 	done    bool
@@ -107,8 +110,8 @@ func (p *Proc) record(write, rmw bool, a mem.Addr, value, prev mem.Word, start s
 	})
 }
 
-func newProc(m *Machine, n *node) *Proc {
-	p := &Proc{id: n.id, m: m, n: n, resume: make(chan mem.Word), yield: make(chan struct{})}
+func newProc(m *Machine, n *node, eng *sim.Engine) *Proc {
+	p := &Proc{id: n.id, m: m, n: n, eng: eng, resume: make(chan mem.Word), yield: make(chan struct{})}
 	p.cb0 = func() { p.step(0) }
 	p.cbW = func(w mem.Word) { p.step(w) }
 	p.endOp = func() { p.opDepth-- }
@@ -117,7 +120,7 @@ func newProc(m *Machine, n *node) *Proc {
 
 // now returns the processor's logical time: the engine clock plus any local
 // cycles not yet replayed into it.
-func (p *Proc) now() sim.Time { return p.m.eng.Now() + p.lag }
+func (p *Proc) now() sim.Time { return p.eng.Now() + p.lag }
 
 // maxBatch bounds how many local delays accumulate before a forced replay.
 // Without the bound a program that never touches shared state (for example
@@ -151,7 +154,7 @@ func (p *Proc) sync() {
 	}
 	p.hopIdx = 1
 	p.lag = 0
-	p.m.eng.AfterStep(p.hops[0], p, 0)
+	p.eng.AfterStep(p.hops[0], p, 0)
 	p.wait()
 }
 
@@ -161,7 +164,7 @@ func (p *Proc) OnStep(uint64) {
 	if p.hopIdx < len(p.hops) {
 		d := p.hops[p.hopIdx]
 		p.hopIdx++
-		p.m.eng.AfterStep(d, p, 0)
+		p.eng.AfterStep(d, p, 0)
 		return
 	}
 	p.hops = p.hops[:0]
@@ -184,8 +187,8 @@ func (p *Proc) start(prog Program) {
 				}
 			}
 			p.done = true
-			p.stats.Finished = p.m.eng.Now()
-			p.m.finished++
+			p.stats.Finished = p.eng.Now()
+			p.m.finished.Add(1)
 			p.yield <- struct{}{}
 		}()
 		<-p.resume
@@ -197,7 +200,7 @@ func (p *Proc) start(prog Program) {
 		// Result.Cycles) includes it.
 		p.sync()
 	}()
-	p.m.eng.AtStep(0, p, 0)
+	p.eng.AtStep(0, p, 0)
 }
 
 // step hands control to the program goroutine and waits for it to block on
@@ -225,9 +228,9 @@ func (p *Proc) wait() mem.Word {
 // waitAs parks the program and charges the elapsed cycles to a stall
 // category.
 func (p *Proc) waitAs(cat stallCat) mem.Word {
-	start := p.m.eng.Now()
+	start := p.eng.Now()
 	w := p.wait()
-	d := p.m.eng.Now() - start
+	d := p.eng.Now() - start
 	switch cat {
 	case catBusy:
 		p.stats.Busy += d

@@ -54,6 +54,20 @@ func New(eng *sim.Engine, net *network.Network, t Timing) *Fabric {
 	return &Fabric{Eng: eng, Net: net, Time: t, Coll: &metrics.Collector{}, RMR: metrics.NewRMRAccount(net.Nodes())}
 }
 
+// View returns a per-node fabric bound to one lane engine of a parallel
+// (PDES) run. The view shares the network, the timing parameters, and the
+// RMR account with the root fabric — RMR rows are per-processor and only
+// ever written by the owning node's lane — but owns its message collector
+// and, once EnableTransport is called on it, its own reliable-transport
+// instance (a node's transport touches only the sender state of its
+// outgoing links and the receiver state of its incoming ones, and acks
+// always land back on the sending node's view). Per-view collectors are
+// merged into the root after the run; sums are order-independent, so the
+// merged totals are identical at any worker count.
+func (f *Fabric) View(eng *sim.Engine) *Fabric {
+	return &Fabric{Eng: eng, Net: f.Net, Time: f.Time, Coll: &metrics.Collector{}, RMR: f.RMR}
+}
+
 // Send counts and transmits a message. The message's Words() determine its
 // network occupancy. With the reliable transport enabled, the message is
 // tracked for acknowledgment and retransmission before injection.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"ssmp/internal/network"
 	"ssmp/internal/workload"
 )
 
@@ -129,6 +130,59 @@ func TestGoldenDigests(t *testing.T) {
 	for name := range got {
 		if _, ok := want[name]; !ok {
 			t.Errorf("%s: generated digest missing from fixture (regenerate with -update-golden)", name)
+		}
+	}
+}
+
+// TestPDESWorkerDigestEquality pins the parallel engine's determinism
+// contract at the harness level: on lane-safe (ideal-network) configs, the
+// fully assembled figure digests are bit-identical across SimWorkers
+// {1, 2, 8}, for every combination of jitter seed and fault seed. Note the
+// reference is workers=1, not the serial engine: the lane-keyed event
+// discipline is a different (equally valid) tie-break order, deterministic
+// in its own right.
+func TestPDESWorkerDigestEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed worker sweep is a few seconds; skipped in -short")
+	}
+	base := goldenOptions()
+	base.Procs = []int{2, 4, 8}
+	base.Tasks = 24
+	base.IdealNetwork = true
+	for _, jitter := range []uint64{0, 7} {
+		for _, faultSeed := range []uint64{0, 42} {
+			o := base
+			o.Jitter = jitter
+			if faultSeed != 0 {
+				o.Faults = network.FaultConfig{
+					Seed:  faultSeed,
+					Rates: network.FaultRates{Drop: 0.01, Dup: 0.01, Delay: 0.03},
+				}
+			}
+			var ref map[string]string
+			for _, workers := range []int{1, 2, 8} {
+				ow := o
+				ow.SimWorkers = workers
+				got := map[string]string{}
+				for _, n := range []int{4, 6} {
+					f, err := ow.FigureByNumber(n)
+					if err != nil {
+						t.Fatalf("jitter=%d faults=%d workers=%d figure %d: %v",
+							jitter, faultSeed, workers, n, err)
+					}
+					got[fmt.Sprintf("figure%d", n)] = digest(f.Table() + "\n" + f.CSV())
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				for name, w := range ref {
+					if got[name] != w {
+						t.Errorf("jitter=%d faults=%d workers=%d %s: digest %s, want %s — worker count leaked into results",
+							jitter, faultSeed, workers, name, got[name][:16], w[:16])
+					}
+				}
+			}
 		}
 	}
 }

@@ -49,6 +49,18 @@ type Options struct {
 	// nonzero seed and rates to check that the figures survive a lossy
 	// fabric.
 	Faults network.FaultConfig
+	// SimWorkers sets each simulated machine's PDES worker count
+	// (core.Config.SimWorkers): 0 runs the classic serial engine, >= 1
+	// runs the time-windowed parallel engine. Lane mode requires
+	// IdealNetwork; on a contended network the machine degrades to the
+	// serial engine. The assembled figures and tables are bit-identical
+	// at every worker count >= 1.
+	SimWorkers int
+	// IdealNetwork removes switch contention (core.Config.IdealNetwork),
+	// the lane-safety precondition for SimWorkers.
+	IdealNetwork bool
+	// Jitter seeds same-cycle tie-breaking (core.Config.Jitter).
+	Jitter uint64
 	// Parallelism bounds how many simulations a sweep runs concurrently.
 	// Zero means GOMAXPROCS; 1 forces the historic serial order. Each
 	// simulation is self-contained (own engine, own RNG), so the assembled
@@ -124,6 +136,9 @@ func (o Options) config(procs int, proto core.Protocol, cons core.Consistency) c
 	cfg.Protocol = proto
 	cfg.Consistency = cons
 	cfg.Faults = o.Faults
+	cfg.SimWorkers = o.SimWorkers
+	cfg.IdealNetwork = o.IdealNetwork
+	cfg.Jitter = o.Jitter
 	return cfg
 }
 

@@ -151,14 +151,16 @@ func splitmix64(x uint64) uint64 {
 }
 
 // faultPlane is the per-network fault state: one PRNG stream per ordered
-// link, advanced once per decision.
+// link, advanced once per decision. Stats are sharded by source node so
+// that under a parallel (lane-per-node) run each lane touches only its own
+// shard; a link's stream is likewise touched only by its source lane.
 type faultPlane struct {
 	cfg      FaultConfig
 	delayMax sim.Time
 	rates    []FaultRates // [src*n + dst]
 	streams  []uint64     // per-link splitmix64 state
 	n        int
-	stats    FaultStats
+	stats    []FaultStats // [src]
 }
 
 func newFaultPlane(cfg FaultConfig, nodes int) *faultPlane {
@@ -168,6 +170,7 @@ func newFaultPlane(cfg FaultConfig, nodes int) *faultPlane {
 		rates:    make([]FaultRates, nodes*nodes),
 		streams:  make([]uint64, nodes*nodes),
 		n:        nodes,
+		stats:    make([]FaultStats, nodes),
 	}
 	for s := 0; s < nodes; s++ {
 		for d := 0; d < nodes; d++ {
@@ -221,17 +224,30 @@ func (p *faultPlane) judge(src, dst int) verdict {
 		v.dup = true
 		v.dupAt = p.drawDelay(i)
 	}
+	st := &p.stats[src]
 	if v.drop {
-		p.stats.Dropped++
+		st.Dropped++
 		return verdict{drop: true}
 	}
 	if v.extra > 0 {
-		p.stats.Delayed++
-		p.stats.DelayCycles += uint64(v.extra)
+		st.Delayed++
+		st.DelayCycles += uint64(v.extra)
 	}
 	if v.dup {
-		p.stats.Duplicated++
-		p.stats.DelayCycles += uint64(v.dupAt)
+		st.Duplicated++
+		st.DelayCycles += uint64(v.dupAt)
 	}
 	return v
+}
+
+// total sums the per-source shards.
+func (p *faultPlane) total() FaultStats {
+	var t FaultStats
+	for i := range p.stats {
+		t.Dropped += p.stats[i].Dropped
+		t.Duplicated += p.stats[i].Duplicated
+		t.Delayed += p.stats[i].Delayed
+		t.DelayCycles += p.stats[i].DelayCycles
+	}
+	return t
 }

@@ -103,11 +103,16 @@ func (s Stats) MeanQueueing() float64 {
 	return float64(s.QueueSum) / float64(s.Messages)
 }
 
-// Network is the Ω network instance. It is not safe for concurrent use; the
-// whole simulation is single-threaded by design.
+// Network is the Ω network instance. In the default serial mode it is not
+// safe for concurrent use. Built with NewParallel it runs in lane mode:
+// every node's sends execute on that node's lane engine, counters are
+// sharded by source node, and cross-node deliveries are buffered through
+// the coordinator's deterministic window merge (sim.Parallel.Post).
 type Network struct {
 	cfg      Config
 	engine   *sim.Engine
+	par      *sim.Parallel // lane mode; nil for the serial engine
+	laneEng  []*sim.Engine // [node] lane engines (lane mode only)
 	stages   int
 	logN     int
 	ports    [][]sim.Resource // [stage][line] (Ω topology)
@@ -116,23 +121,53 @@ type Network struct {
 	handlers []Handler
 	inbox    []port // per-node typed delivery endpoints
 	faults   *faultPlane
-	stats    Stats
+	shards   []Stats // per-source-node counters, summed by Stats()
 }
 
 // New builds a network over the given engine. It panics on an invalid
 // configuration (construction-time misconfiguration is a programming error).
 func New(engine *sim.Engine, cfg Config) *Network {
+	n := build(cfg)
+	n.engine = engine
+	return n
+}
+
+// NewParallel builds a network in lane mode over a PDES coordinator: node
+// i's sends run on lane i, and cross-node deliveries go through the window
+// merge. Only the ideal (contention-free) network can be decomposed this
+// way — switch-port contention is global, timestamp-ordered state with zero
+// lookahead — so NewParallel panics unless cfg.Ideal is set. It also
+// installs the model lookahead (the minimum cross-node latency) on the
+// coordinator.
+func NewParallel(par *sim.Parallel, cfg Config) *Network {
+	if !cfg.Ideal {
+		panic("network: lane mode requires the ideal (contention-free) network")
+	}
+	if par.Lanes() != cfg.Nodes {
+		panic(fmt.Sprintf("network: %d lanes for %d nodes", par.Lanes(), cfg.Nodes))
+	}
+	n := build(cfg)
+	n.par = par
+	n.laneEng = make([]*sim.Engine, cfg.Nodes)
+	for i := range n.laneEng {
+		n.laneEng[i] = par.Lane(i)
+	}
+	par.SetLookahead(n.MinCrossLatency())
+	return n
+}
+
+func build(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	logN := bits.TrailingZeros(uint(cfg.Nodes))
 	n := &Network{
 		cfg:      cfg,
-		engine:   engine,
 		stages:   logN,
 		logN:     logN,
 		handlers: make([]Handler, cfg.Nodes),
 		inbox:    make([]port, cfg.Nodes),
+		shards:   make([]Stats, cfg.Nodes),
 	}
 	for i := range n.inbox {
 		n.inbox[i] = port{n: n, node: i}
@@ -169,11 +204,21 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // Stages returns the number of switch stages (log2 of the node count).
 func (n *Network) Stages() int { return n.stages }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, summed across the per-source
+// shards. In lane mode call it only between windows (after the run).
 func (n *Network) Stats() Stats {
-	s := n.stats
+	var s Stats
+	for i := range n.shards {
+		sh := &n.shards[i]
+		s.Messages += sh.Messages
+		s.Words += sh.Words
+		s.Hops += sh.Hops
+		s.Local += sh.Local
+		s.LatencySum += sh.LatencySum
+		s.QueueSum += sh.QueueSum
+	}
 	if n.faults != nil {
-		s.Faults = n.faults.stats
+		s.Faults = n.faults.total()
 	}
 	return s
 }
@@ -212,16 +257,23 @@ func (n *Network) route(src, dst int, lines []int) []int {
 
 // Send injects a message of the given payload size (words; 0 for a control
 // transaction) from src to dst, delivering it to dst's handler after the
-// modeled latency. Node-local messages bypass the network entirely.
+// modeled latency. Node-local messages bypass the network entirely. In lane
+// mode Send must be called from src's lane; every counter it touches is
+// src's own shard, and cross-lane deliveries route through the coordinator.
 func (n *Network) Send(src, dst, words int, payload any) {
-	now := n.engine.Now()
+	eng := n.engine
+	if n.par != nil {
+		eng = n.laneEng[src]
+	}
+	now := eng.Now()
+	st := &n.shards[src]
 	if src == dst && !n.cfg.DanceHall {
-		n.stats.Local++
-		n.deliverAt(now+n.cfg.LocalDelay, dst, payload)
+		st.Local++
+		n.deliverAt(eng, now+n.cfg.LocalDelay, src, dst, payload)
 		return
 	}
-	n.stats.Messages++
-	n.stats.Words += uint64(words)
+	st.Messages++
+	st.Words += uint64(words)
 	hold := n.holdFor(words)
 
 	hops := n.stages
@@ -232,7 +284,7 @@ func (n *Network) Send(src, dst, words int, payload any) {
 		hops = 1 // one bus transaction
 	}
 	var done sim.Time
-	n.stats.Hops += uint64(hops)
+	st.Hops += uint64(hops)
 	switch {
 	case n.cfg.Ideal:
 		done = now + hold*sim.Time(hops)
@@ -244,10 +296,10 @@ func (n *Network) Send(src, dst, words int, payload any) {
 		done = n.sendPath(src, dst, now, hold)
 	}
 	lat := done - now
-	n.stats.LatencySum += lat
+	st.LatencySum += lat
 	uncontended := hold * sim.Time(hops)
 	if lat > uncontended {
-		n.stats.QueueSum += lat - uncontended
+		st.QueueSum += lat - uncontended
 	}
 	if n.faults != nil {
 		v := n.faults.judge(src, dst)
@@ -256,10 +308,10 @@ func (n *Network) Send(src, dst, words int, payload any) {
 		}
 		done += v.extra
 		if v.dup {
-			n.deliverAt(done+v.dupAt, dst, payload)
+			n.deliverAt(eng, done+v.dupAt, src, dst, payload)
 		}
 	}
-	n.deliverAt(done, dst, payload)
+	n.deliverAt(eng, done, src, dst, payload)
 }
 
 // sendPath walks the destination-tag route acquiring each output port in
@@ -284,11 +336,20 @@ type port struct {
 // OnDeliver hands the payload to the node's handler.
 func (p *port) OnDeliver(payload any) { p.n.handlers[p.node](payload) }
 
-func (n *Network) deliverAt(t sim.Time, dst int, payload any) {
+// deliverAt schedules the delivery event. In serial mode everything goes on
+// the single engine. In lane mode a same-node delivery stays on the source
+// lane (it is invisible to other lanes), while a cross-node delivery is
+// posted through the coordinator's window merge — that is the only path by
+// which one lane's execution affects another's schedule.
+func (n *Network) deliverAt(eng *sim.Engine, t sim.Time, src, dst int, payload any) {
 	if n.handlers[dst] == nil {
 		panic(fmt.Sprintf("network: no handler attached at node %d", dst))
 	}
-	n.engine.AtDeliver(t, &n.inbox[dst], payload)
+	if n.par != nil && src != dst {
+		n.par.Post(int32(src), int32(dst), t, &n.inbox[dst], payload)
+		return
+	}
+	eng.AtDeliver(t, &n.inbox[dst], payload)
 }
 
 // UncontendedLatency returns the latency a message of the given size would
@@ -304,6 +365,26 @@ func (n *Network) UncontendedLatency(words int) sim.Time {
 		hops = 1
 	}
 	return n.holdFor(words) * sim.Time(hops)
+}
+
+// MinCrossLatency returns the minimum modeled latency of any message
+// between two *different* nodes: a one-flit control message over the
+// shortest route (every pair is log2 N stages apart on the Ω network; the
+// shortest mesh route is one hop between neighbors; the bus is always one
+// transaction). This is the PDES lookahead — contention, fault-plane extra
+// delay, and larger payloads only ever add to it, so no cross-lane effect
+// can land sooner. Node-local bypass traffic is exempt (it never crosses a
+// lane) and does not bound the window.
+func (n *Network) MinCrossLatency() sim.Time {
+	hops := n.stages
+	if n.mesh != nil || n.bus != nil {
+		hops = 1
+	}
+	la := n.holdFor(0) * sim.Time(hops)
+	if la < 1 {
+		la = 1
+	}
+	return la
 }
 
 // PortUtilization returns the mean utilization across all switch output

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSimWorkersSpecValidation(t *testing.T) {
+	bad := []SimSpec{
+		{SimWorkers: -1, IdealNetwork: true},
+		{SimWorkers: maxSpecProcs + 1, IdealNetwork: true},
+		{SimWorkers: 2}, // lane mode without ideal_network
+	}
+	for i, s := range bad {
+		s := s
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %d (%+v) should not validate", i, s)
+		}
+	}
+	ok := SimSpec{SimWorkers: 8, IdealNetwork: true}
+	if err := ok.Normalize(); err != nil {
+		t.Fatalf("ideal-network lane spec should validate: %v", err)
+	}
+}
+
+// TestSimWorkersEndToEnd: the daemon accepts lane-mode specs, rejects
+// non-lane-safe ones with a client error, and returns bit-identical results
+// at every worker count (under distinct cache keys: the worker count is
+// part of the spec).
+func TestSimWorkersEndToEnd(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	_ = s
+
+	spec := func(workers int) string {
+		return fmt.Sprintf(`{"procs":4,"workload":"queue","grain":32,"tasks":8,"seed":7,
+			"ideal_network":true,"sim_workers":%d}`, workers)
+	}
+	type reply struct {
+		Key    string          `json:"key"`
+		Result json.RawMessage `json:"result"`
+	}
+	var ref reply
+	keys := map[string]bool{}
+	for _, workers := range []int{1, 2, 4} {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", spec(workers))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers %d: status %d: %s", workers, resp.StatusCode, body)
+		}
+		var jr reply
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+		keys[jr.Key] = true
+		if ref.Key == "" {
+			ref = jr
+			continue
+		}
+		if string(jr.Result) != string(ref.Result) {
+			t.Fatalf("workers %d result diverges:\n got %s\nwant %s", workers, jr.Result, ref.Result)
+		}
+	}
+	if len(keys) != 3 {
+		t.Fatalf("expected 3 distinct cache keys, got %d", len(keys))
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/sim",
+		`{"procs":4,"workload":"queue","tasks":8,"sim_workers":2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("contended lane spec: want 400, got %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "ideal_network") {
+		t.Fatalf("rejection should name the precondition: %s", body)
+	}
+}

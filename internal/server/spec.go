@@ -49,6 +49,14 @@ type SimSpec struct {
 	// Jitter seeds schedule jitter (core.Config.Jitter); 0 keeps the
 	// canonical deterministic schedule.
 	Jitter uint64 `json:"jitter"`
+	// SimWorkers runs the simulation on the time-windowed parallel engine
+	// with this many workers (core.Config.SimWorkers); 0 is the classic
+	// serial engine. Requires ideal_network — that is the engine's
+	// lane-safety precondition, and silently degrading would give two
+	// spec spellings for one serial result. Results are bit-identical for
+	// every value >= 1. omitempty keeps serial specs' cache keys
+	// unchanged.
+	SimWorkers int `json:"sim_workers,omitempty"`
 
 	// Ablation toggles (see core.Config).
 	DirectHandoff bool `json:"direct_handoff"`
@@ -176,6 +184,12 @@ func (s *SimSpec) Normalize() error {
 	if s.DirPointers < 0 {
 		return fmt.Errorf("dir_pointers must be >= 0, got %d", s.DirPointers)
 	}
+	if s.SimWorkers < 0 || s.SimWorkers > maxSpecProcs {
+		return fmt.Errorf("sim_workers must be in [0,%d], got %d", maxSpecProcs, s.SimWorkers)
+	}
+	if s.SimWorkers > 0 && !s.IdealNetwork {
+		return fmt.Errorf("sim_workers requires ideal_network (the parallel engine's lane-safety precondition)")
+	}
 	if s.Faults != nil {
 		if s.Faults.DelayMax < 0 {
 			return fmt.Errorf("faults.delay_max must be >= 0, got %d", s.Faults.DelayMax)
@@ -217,6 +231,7 @@ func (s *SimSpec) config() core.Config {
 	cfg.DanceHall = s.DanceHall
 	cfg.DirMaxPointers = s.DirPointers
 	cfg.Jitter = s.Jitter
+	cfg.SimWorkers = s.SimWorkers
 	if s.Faults != nil {
 		cfg.Faults = s.Faults.config()
 	}

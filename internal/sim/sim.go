@@ -60,7 +60,9 @@ const (
 // record is one pooled event. Records live in the engine's arena and are
 // recycled through a free list; gen invalidates Handles to recycled slots.
 // seq breaks (at) ties so that events scheduled for the same cycle fire in
-// insertion order, keeping the simulation deterministic.
+// insertion order, keeping the simulation deterministic. lane is the
+// scheduling lane of a Parallel run (see pdes.go): a standalone engine
+// leaves it 0, so the legacy order (time, jitter, sequence) is unchanged.
 type record struct {
 	at      Time
 	seq     uint64
@@ -70,6 +72,7 @@ type record struct {
 	recv    Receiver
 	payload any
 	arg     uint64
+	lane    int32
 	gen     uint32
 	kind    eventKind
 	dead    bool
@@ -126,6 +129,12 @@ type Engine struct {
 
 	jitterOn bool
 	jrng     uint64 // splitmix64 state; advanced once per scheduled event
+
+	// lane is this engine's lane id when it belongs to a Parallel run
+	// (pdes.go); every locally scheduled record is stamped with it. A
+	// standalone engine keeps lane 0, which sorts like the legacy
+	// (time, jitter, sequence) key.
+	lane int32
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -143,9 +152,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // entries not yet swept).
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// SetHorizon establishes a hard time limit; Run and RunUntil return
-// ErrHorizon when the clock would pass it. A horizon of Infinity (the
-// default) disables the limit.
+// SetHorizon establishes a hard time limit. The horizon is inclusive:
+// events with timestamps <= t still fire, and Run or RunUntil return
+// ErrHorizon only when the next live *event* lies strictly beyond it.
+// RunUntil's trailing idle advance (moving the clock to its target time
+// when the queue empties early) is not horizon-checked — a horizon bounds
+// event execution, not the passage of idle time — so RunUntil(u) with
+// u > t can leave the clock past the horizon without an error if no event
+// beyond t was actually scheduled. A horizon of Infinity (the default)
+// disables the limit.
 func (e *Engine) SetHorizon(t Time) { e.limit = t }
 
 // ErrHorizon is returned when the simulation horizon is exceeded, which
@@ -191,10 +206,13 @@ func (e *Engine) nextJit() uint64 {
 	return z ^ (z >> 31)
 }
 
-// less orders heap entries by (time, jitter, insertion sequence). With
-// jitter off every jit is zero and the order degenerates to (time, seq).
-// seq keeps the key unique either way, so the pop order is a total order
-// independent of the heap's internal arrangement.
+// less orders heap entries by (time, jitter, lane, sequence). With jitter
+// off every jit is zero, and in a standalone engine every lane is zero, so
+// the order degenerates to the legacy (time, seq). Under a Parallel run the
+// (lane, seq) pair is the scheduling lane and that lane's local sequence
+// counter, which makes the key a total order that no interleaving of lane
+// execution can perturb. seq keeps the key unique within a lane, so the pop
+// order is independent of the heap's internal arrangement.
 func (e *Engine) less(a, b int32) bool {
 	ra, rb := &e.pool[a], &e.pool[b]
 	if ra.at != rb.at {
@@ -202,6 +220,9 @@ func (e *Engine) less(a, b int32) bool {
 	}
 	if ra.jit != rb.jit {
 		return ra.jit < rb.jit
+	}
+	if ra.lane != rb.lane {
+		return ra.lane < rb.lane
 	}
 	return ra.seq < rb.seq
 }
@@ -271,6 +292,7 @@ func (e *Engine) schedule(t Time, kind eventKind) (int32, *record) {
 	}
 	r := &e.pool[id]
 	r.at, r.seq, r.kind, r.dead = t, e.seq, kind, false
+	r.lane = e.lane
 	r.jit = 0
 	if e.jitterOn {
 		r.jit = e.nextJit()
@@ -410,9 +432,12 @@ func (e *Engine) Run() error {
 
 // RunUntil executes events with timestamps <= t, leaving later events queued
 // and advancing the clock to exactly t if the queue empties earlier. It
-// returns the number of events fired. RunUntil enforces the same limits as
-// Run: it stops on Stop, returns ErrHorizon past the horizon, and polls any
-// installed interrupt.
+// returns the number of events fired. RunUntil stops on Stop, polls any
+// installed interrupt, and returns ErrHorizon when the next event within its
+// window lies strictly beyond the horizon. The final idle advance to t is
+// exempt from the horizon check (see SetHorizon): only firing an event past
+// the limit is an error, so RunUntil(t) with t beyond the horizon returns
+// nil as long as every queued event up to t is within it.
 func (e *Engine) RunUntil(t Time) (uint64, error) {
 	e.stopped = false
 	start := e.fired

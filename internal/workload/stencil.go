@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+	"ssmp/internal/sim"
+)
+
+// StencilSpec parameterizes the 1-D Jacobi scaling workload: a heat-
+// diffusion kernel with one contiguous strip of cells per processor. It is
+// the PDES scaling benchmark's workload of choice because all sharing is
+// nearest-neighbour: each processor exchanges only its strip's edge cells
+// through the edges' home memory modules, and synchronizes only with its
+// two neighbours through pairwise (2-party) hardware barriers. There is no
+// central barrier or lock, so nothing serializes 512+ lanes through a
+// single home node, and simulated-time skew between distant processors
+// pipelines into a wavefront that keeps every lane busy.
+//
+// Three design points make the kernel exact by construction rather than by
+// timing:
+//
+//   - Edges travel WRITE-GLOBAL -> home memory -> READ-GLOBAL, not via
+//     READ-UPDATE subscriptions. Under the paper's completion semantics
+//     (§2) a WRITE-GLOBAL is acknowledged once performed at *memory*;
+//     update propagation to subscribers continues asynchronously and can
+//     lose a race against a 2-party barrier release, whose path may be
+//     almost entirely home-local. The home route has a sound
+//     happens-before chain: the barrier's CP-Synch flush waits for the
+//     write's memory ack, the arrival follows the flush, the release
+//     follows the arrival, and the reader's READ-GLOBAL follows the
+//     release — so the home's serialized station has always performed the
+//     write by the time the read reaches it.
+//   - Edge words are double-buffered by iteration parity. A processor
+//     reads its neighbours' parity-q edges while publishing parity-(1-q)
+//     edges for the next iteration, so a fast neighbour can never
+//     overwrite a value before the slow side reads it — correctness never
+//     depends on the two strips taking equally long.
+//   - Neighbour synchronization is two barrier phases per iteration:
+//     phase A pairs (2k, 2k+1), phase B pairs (2k+1, 2k+2). All pairs
+//     within a phase are disjoint, so both phases complete in O(1)
+//     barrier depth instead of the O(P) wave a naive left-then-right
+//     ordering would produce.
+//
+// The kernel is CBL-only (WRITE-GLOBAL, READ-GLOBAL, hardware barriers).
+type StencilSpec struct {
+	// Procs is the number of processors (= machine nodes); each owns one
+	// strip.
+	Procs int
+	// CellsPer is the strip length per processor.
+	CellsPer int
+	// Iters is the number of Jacobi iterations.
+	Iters int
+	// Work is the simulated FP cost per cell update in cycles (0 means 1).
+	Work sim.Time
+	// Alpha is the diffusion coefficient (0 means 0.25).
+	Alpha float64
+}
+
+// Validate reports whether the spec is usable.
+func (s StencilSpec) Validate() error {
+	if s.Procs < 1 || s.CellsPer < 2 || s.Iters < 1 {
+		return fmt.Errorf("workload: stencil needs procs >= 1, cellsPer >= 2, iters >= 1: %+v", s)
+	}
+	return nil
+}
+
+func (s StencilSpec) work() sim.Time {
+	if s.Work == 0 {
+		return 1
+	}
+	return s.Work
+}
+
+func (s StencilSpec) alpha() float64 {
+	if s.Alpha == 0 {
+		return 0.25
+	}
+	return s.Alpha
+}
+
+// initial is the deterministic initial condition: a smooth bump plus a hot
+// spot in the middle.
+func (s StencilSpec) initial(i int) float64 {
+	v := math.Sin(float64(i)*0.1) * 10
+	if i == s.Procs*s.CellsPer/2 {
+		v += 100
+	}
+	return v
+}
+
+// Address map: every edge word and pair barrier gets a block of its own,
+// placed so consecutive processors' blocks land on consecutive homes — the
+// metadata load distributes across all memory modules.
+const (
+	stencilEdgeBase = mem.Block(1 << 20)
+	stencilSideLeft = 0
+	stencilSideRigh = 1
+)
+
+// edgeAddr returns the address of processor proc's side edge word for
+// iteration parity q.
+func (s StencilSpec) edgeAddr(geom mem.Geometry, proc, side, q int) mem.Addr {
+	b := stencilEdgeBase + mem.Block(q*2*s.Procs+side*s.Procs+proc)
+	return geom.BaseAddr(b)
+}
+
+// pairAddr returns the barrier address for the pair (i, i+1) at iteration
+// parity q. Parity alternation keeps consecutive episodes at distinct
+// addresses for clarity; 2-party episodes cannot actually overlap.
+func (s StencilSpec) pairAddr(geom mem.Geometry, pair, q int) mem.Addr {
+	b := stencilEdgeBase + mem.Block(4*s.Procs) + mem.Block(q*s.Procs+pair)
+	return geom.BaseAddr(b)
+}
+
+// syncNeighbors runs the two disjoint pairwise barrier phases for iteration
+// parity q: phase A pairs (2k, 2k+1), phase B pairs (2k+1, 2k+2).
+func (s StencilSpec) syncNeighbors(p *core.Proc, geom mem.Geometry, pid, q int) {
+	if pid%2 == 0 {
+		if pid+1 < s.Procs {
+			p.Barrier(s.pairAddr(geom, pid, q), 2)
+		}
+		if pid > 0 {
+			p.Barrier(s.pairAddr(geom, pid-1, q), 2)
+		}
+		return
+	}
+	p.Barrier(s.pairAddr(geom, pid-1, q), 2)
+	if pid+1 < s.Procs {
+		p.Barrier(s.pairAddr(geom, pid, q), 2)
+	}
+}
+
+// Programs builds one program per processor plus the slice the final strips
+// are written into (valid after the machine run completes; index = proc).
+func (s StencilSpec) Programs(geom mem.Geometry) ([]core.Program, [][]float64) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	results := make([][]float64, s.Procs)
+	progs := make([]core.Program, s.Procs)
+	alpha, work := s.alpha(), s.work()
+	for pid := 0; pid < s.Procs; pid++ {
+		pid := pid
+		progs[pid] = func(p *core.Proc) {
+			cur := make([]float64, s.CellsPer)
+			next := make([]float64, s.CellsPer)
+			for i := range cur {
+				cur[i] = s.initial(pid*s.CellsPer + i)
+			}
+			// Publish the parity-0 edges iteration 0 will read, then meet
+			// both neighbours: the CP-Synch flush before each barrier
+			// arrival guarantees the writes are performed at their homes.
+			p.WriteGlobal(s.edgeAddr(geom, pid, stencilSideLeft, 0), mem.Word(math.Float64bits(cur[0])))
+			p.WriteGlobal(s.edgeAddr(geom, pid, stencilSideRigh, 0), mem.Word(math.Float64bits(cur[s.CellsPer-1])))
+			s.syncNeighbors(p, geom, pid, 0)
+
+			for it := 0; it < s.Iters; it++ {
+				q := it & 1
+				// Neighbour boundaries, fetched from the edges' home
+				// modules. Beyond the array the boundary is fixed at 0.
+				left, right := 0.0, 0.0
+				if pid > 0 {
+					left = math.Float64frombits(uint64(p.ReadGlobal(s.edgeAddr(geom, pid-1, stencilSideRigh, q))))
+				}
+				if pid < s.Procs-1 {
+					right = math.Float64frombits(uint64(p.ReadGlobal(s.edgeAddr(geom, pid+1, stencilSideLeft, q))))
+				}
+				for i := 0; i < s.CellsPer; i++ {
+					l := left
+					if i > 0 {
+						l = cur[i-1]
+					}
+					r := right
+					if i < s.CellsPer-1 {
+						r = cur[i+1]
+					}
+					if pid == 0 && i == 0 {
+						l = 0
+					}
+					if pid == s.Procs-1 && i == s.CellsPer-1 {
+						r = 0
+					}
+					next[i] = cur[i] + alpha*(l-2*cur[i]+r)
+					p.Think(work)
+				}
+				cur, next = next, cur
+				// Publish the other-parity edges for iteration it+1, then
+				// meet both neighbours: their reads of the parity-q copies
+				// are ordered before our next overwrite of them.
+				p.WriteGlobal(s.edgeAddr(geom, pid, stencilSideLeft, 1-q), mem.Word(math.Float64bits(cur[0])))
+				p.WriteGlobal(s.edgeAddr(geom, pid, stencilSideRigh, 1-q), mem.Word(math.Float64bits(cur[s.CellsPer-1])))
+				s.syncNeighbors(p, geom, pid, 1-q)
+			}
+			results[pid] = cur
+		}
+	}
+	return progs, results
+}
+
+// Reference computes the same iteration count sequentially; a machine run's
+// strips must match it bit for bit (same arithmetic, same per-cell order).
+func (s StencilSpec) Reference() []float64 {
+	total := s.Procs * s.CellsPer
+	cur := make([]float64, total)
+	next := make([]float64, total)
+	for i := range cur {
+		cur[i] = s.initial(i)
+	}
+	alpha := s.alpha()
+	for it := 0; it < s.Iters; it++ {
+		for i := range cur {
+			l, r := 0.0, 0.0
+			if i > 0 {
+				l = cur[i-1]
+			}
+			if i < total-1 {
+				r = cur[i+1]
+			}
+			next[i] = cur[i] + alpha*(l-2*cur[i]+r)
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"ssmp/internal/core"
+	"ssmp/internal/mem"
+)
+
+func runStencil(t *testing.T, spec StencilSpec, cfg core.Config) ([][]float64, core.Result) {
+	t.Helper()
+	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}
+	progs, results := spec.Programs(geom)
+	res, err := Run(cfg, progs)
+	if err != nil {
+		t.Fatalf("stencil run (workers %d): %v", cfg.SimWorkers, err)
+	}
+	return results, res
+}
+
+func checkReference(t *testing.T, spec StencilSpec, results [][]float64, label string) {
+	t.Helper()
+	ref := spec.Reference()
+	for pid, strip := range results {
+		if len(strip) != spec.CellsPer {
+			t.Fatalf("%s: proc %d produced %d cells", label, pid, len(strip))
+		}
+		for i, v := range strip {
+			if v != ref[pid*spec.CellsPer+i] {
+				t.Fatalf("%s: cell (%d,%d) = %v, reference %v", label, pid, i, v, ref[pid*spec.CellsPer+i])
+			}
+		}
+	}
+}
+
+// TestStencilMatchesReference: the kernel is bit-exact against the
+// sequential reference on both engines — the pairwise-barrier, parity-
+// buffered exchange never lets a neighbour read a stale or overwritten
+// edge, at any worker count.
+func TestStencilMatchesReference(t *testing.T) {
+	spec := StencilSpec{Procs: 16, CellsPer: 8, Iters: 25}
+	serial := core.DefaultConfig(spec.Procs)
+	results, _ := runStencil(t, spec, serial)
+	checkReference(t, spec, results, "serial")
+
+	lane := serial
+	lane.IdealNetwork = true
+	for _, w := range []int{1, 2, 8} {
+		cfg := lane
+		cfg.SimWorkers = w
+		results, _ := runStencil(t, spec, cfg)
+		checkReference(t, spec, results, fmt.Sprintf("workers=%d", w))
+	}
+}
+
+// TestStencilWorkerCountEquality: the full machine Result (cycles, events,
+// messages, latencies, utilization) is bit-identical across worker counts.
+func TestStencilWorkerCountEquality(t *testing.T) {
+	spec := StencilSpec{Procs: 8, CellsPer: 6, Iters: 15}
+	cfg := core.DefaultConfig(spec.Procs)
+	cfg.IdealNetwork = true
+	cfg.SimWorkers = 1
+	_, ref := runStencil(t, spec, cfg)
+	for _, w := range []int{2, 3, 8} {
+		c := cfg
+		c.SimWorkers = w
+		_, got := runStencil(t, spec, c)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("workers %d diverges:\n got %+v\nwant %+v", w, got, ref)
+		}
+	}
+}
+
+func TestStencilSpecValidate(t *testing.T) {
+	for _, bad := range []StencilSpec{
+		{Procs: 0, CellsPer: 4, Iters: 1},
+		{Procs: 2, CellsPer: 1, Iters: 1},
+		{Procs: 2, CellsPer: 4, Iters: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("spec %+v should be invalid", bad)
+		}
+	}
+}

@@ -204,6 +204,10 @@ type (
 	WorkDAG = workload.WorkDAG
 	// QueueStats is the work-queue model's task accounting.
 	QueueStats = workload.QueueStats
+	// StencilSpec parameterizes the 1-D Jacobi scaling workload, the
+	// nearest-neighbour kernel used to benchmark the parallel (PDES)
+	// simulation engine at 512+ nodes.
+	StencilSpec = workload.StencilSpec
 )
 
 // Workload grain presets (references per task).
