@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke bench-sync bench-pdes pdes litmus synczoo chaos cover serve clean
+.PHONY: build test race vet bench bench-json bench-smoke bench-sync bench-pdes bench-kv pdes litmus synczoo chaos kv cover serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -59,6 +59,17 @@ bench-pdes:
 			-out results/BENCH_7.json -latest results/BENCH_latest.json
 	@cat results/BENCH_7.json
 
+# Key-value service latency record: the in-sim KV store swept across
+# machine sizes for cbl vs mcs shard locks, with p50/p99/throughput per
+# node count assembled into scaling curves (see cmd/benchjson -curves).
+# Written to results/BENCH_8.json. The curve to read: cbl's read-mostly
+# p50/p99 stay low as procs grow (READ-UPDATE fast path) while mcs's climb.
+bench-kv:
+	$(GO) test '-bench=KVStore' -benchtime=1x -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -curves=procs \
+			-out results/BENCH_8.json -latest results/BENCH_latest.json
+	@cat results/BENCH_8.json
+
 # PDES determinism gate: the parallel engine's unit tests plus every
 # workers=1-vs-N equality property (engine, workload, harness, daemon)
 # under the race detector.
@@ -90,6 +101,16 @@ chaos:
 	$(GO) test -race -run 'TestFault|TestTransport|TestChaos' \
 		./internal/network/ ./internal/fabric/ ./internal/core/ ./internal/litmus/ ./internal/server/
 	$(GO) run ./cmd/ssmplitmus run -faults -seeds 32
+
+# Key-value service gate: the kvapp unit tests and sequential-consistency
+# oracle under the race detector (including the chaos soak in -short form
+# and the lane-safety bit-identical check), the harness/server/CLI surface,
+# then a short chaos soak through the CLI across both protocols.
+kv:
+	$(GO) test -race -short ./internal/kvapp/ ./cmd/benchjson/
+	$(GO) test -race -run 'KV|MetricsLatency' ./internal/harness/ ./internal/server/
+	$(GO) run ./cmd/ssmpkv soak -seeds 4
+	$(GO) test '-bench=KVStore/lock=(cbl|mcs)/procs=4$$' -benchtime=1x -run=^$$ .
 
 # Per-package statement coverage.
 cover:

@@ -6,6 +6,7 @@
 package ssmp_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -900,5 +901,43 @@ func BenchmarkPDESStencil(b *testing.B) {
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles/op")
 		})
+	}
+}
+
+// BenchmarkKVStore runs the in-sim key-value service across machine sizes
+// for the write-invalidate (mcs-locked) and competitive-update (cbl-locked)
+// configurations, reporting the latency quantiles and throughput that feed
+// results/BENCH_8.json. The p50/p99 separation between cbl and mcs under a
+// read-mostly mix is the KV-form of the paper's protocol comparison: cbl's
+// READ-UPDATE fast path answers hot gets from the cache while mcs sends
+// every read home.
+func BenchmarkKVStore(b *testing.B) {
+	for _, lock := range []string{"cbl", "mcs"} {
+		for _, n := range []int{4, 8, 16, 32} {
+			b.Run(fmt.Sprintf("lock=%s/procs=%d", lock, n), func(b *testing.B) {
+				spec := ssmp.DefaultKVSpec(n)
+				spec.Lock = lock
+				spec.Keys = 256
+				spec.Shards = 16
+				spec.Sessions = 2
+				spec.Ops = 96
+				spec.SubCap = 32
+				var res *ssmp.KVResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = ssmp.RunKV(context.Background(), spec, ssmp.KVRunOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := res.Check(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.P50()), "p50-cycles")
+				b.ReportMetric(float64(res.P99()), "p99-cycles")
+				b.ReportMetric(res.ThroughputOpsPerKCycle(), "ops/kcycle")
+				b.ReportMetric(float64(res.Sim.Cycles), "cycles")
+			})
+		}
 	}
 }

@@ -17,6 +17,13 @@
 // ratio of its sibling "X/workers=1" — the shape scaling benchmarks want,
 // where the interesting number is speedup over the same report's base
 // variant, not over a previous commit.
+//
+// -curves assembles scaling curves from the report itself: given a sweep
+// parameter (e.g. "procs"), entries named "X/procs=N" are grouped by the
+// remaining name "X", and every custom metric (each b.ReportMetric unit)
+// becomes one curve of (N, value) points sorted by N. This turns a
+// latency benchmark family like BenchmarkKVStore/lock=cbl/procs={4..32}
+// into ready-to-plot p50/p99/throughput-vs-node-count series.
 package main
 
 import (
@@ -78,6 +85,26 @@ type Comparison struct {
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
+// Curve is one metric of one benchmark family swept over a parameter:
+// ready-to-plot (x, value) points, e.g. p99-cycles vs procs for
+// BenchmarkKVStore/lock=cbl.
+type Curve struct {
+	// Name is the family with the sweep segment removed
+	// ("BenchmarkKVStore/lock=cbl").
+	Name string `json:"name"`
+	// Param is the sweep parameter ("procs"); Metric is the unit string the
+	// benchmark reported ("p50-cycles", "ops/kcycle", "ns/op").
+	Param  string       `json:"param"`
+	Metric string       `json:"metric"`
+	Points []CurvePoint `json:"points"`
+}
+
+// CurvePoint is one (parameter value, metric value) sample.
+type CurvePoint struct {
+	X     int     `json:"x"`
+	Value float64 `json:"value"`
+}
+
 // Report is the file benchjson writes.
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
@@ -89,6 +116,8 @@ type Report struct {
 	// speedup beyond min(N, CPUs).
 	CPUs    int     `json:"cpus"`
 	Entries []Entry `json:"entries"`
+	// Curves is present with -curves: per-family per-metric scaling series.
+	Curves []Curve `json:"curves,omitempty"`
 }
 
 func main() {
@@ -96,6 +125,7 @@ func main() {
 	baseline := flag.String("baseline", "", "previous benchjson report to compare against")
 	latest := flag.String("latest", "", "stable path to mirror the report to (e.g. results/BENCH_latest.json)")
 	ratioBase := flag.String("ratio-base", "", "sub-benchmark suffix to compute within-report speedups against (e.g. workers=1)")
+	curveParam := flag.String("curves", "", "sweep parameter to assemble per-metric scaling curves over (e.g. procs)")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin)
@@ -121,6 +151,12 @@ func main() {
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
 		Entries:     entries,
+	}
+	if *curveParam != "" {
+		rep.Curves = assembleCurves(entries, *curveParam)
+		if len(rep.Curves) == 0 {
+			fatal(fmt.Errorf("-curves %s: no entry name contains a %q segment", *curveParam, *curveParam+"=N"))
+		}
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -247,6 +283,67 @@ func ratioAgainstBase(entries []Entry, base string) {
 			Speedup: b.NsPerOp / entries[i].NsPerOp,
 		}
 	}
+}
+
+// sweepValue extracts the "<param>=N" segment from a benchmark name,
+// returning N and the name with that segment removed.
+func sweepValue(name, param string) (family string, x int, ok bool) {
+	segs := strings.Split(name, "/")
+	for i, seg := range segs {
+		rest, found := strings.CutPrefix(seg, param+"=")
+		if !found {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		return strings.Join(append(segs[:i:i], segs[i+1:]...), "/"), n, true
+	}
+	return "", 0, false
+}
+
+// assembleCurves groups entries by family (name minus the "<param>=N"
+// segment) and emits one curve per (family, metric) with points sorted by
+// the parameter. ns/op and every custom unit become metrics; families and
+// metrics are emitted in sorted order so the output is deterministic.
+func assembleCurves(entries []Entry, param string) []Curve {
+	type key struct{ family, metric string }
+	series := map[key][]CurvePoint{}
+	for _, e := range entries {
+		family, x, ok := sweepValue(e.Name, param)
+		if !ok {
+			continue
+		}
+		add := func(metric string, v float64) {
+			k := key{family, metric}
+			series[k] = append(series[k], CurvePoint{X: x, Value: v})
+		}
+		add("ns/op", e.NsPerOp)
+		if e.SimCyclesPerOp > 0 {
+			add("sim-cycles/op", e.SimCyclesPerOp)
+		}
+		for metric, v := range e.Extra {
+			add(metric, v)
+		}
+	}
+	keys := make([]key, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	out := make([]Curve, 0, len(keys))
+	for _, k := range keys {
+		pts := series[k]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		out = append(out, Curve{Name: k.family, Param: param, Metric: k.metric, Points: pts})
+	}
+	return out
 }
 
 // compare annotates entries with ratios against a previous report.

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSweepValue(t *testing.T) {
+	cases := []struct {
+		name, param, family string
+		x                   int
+		ok                  bool
+	}{
+		{"BenchmarkKVStore/lock=cbl/procs=16", "procs", "BenchmarkKVStore/lock=cbl", 16, true},
+		{"BenchmarkKVStore/procs=4/lock=mcs", "procs", "BenchmarkKVStore/lock=mcs", 4, true},
+		{"BenchmarkPDES/workers=8", "workers", "BenchmarkPDES", 8, true},
+		{"BenchmarkKVStore/lock=cbl", "procs", "", 0, false},
+		{"BenchmarkKVStore/procs=abc", "procs", "", 0, false},
+	}
+	for _, c := range cases {
+		family, x, ok := sweepValue(c.name, c.param)
+		if family != c.family || x != c.x || ok != c.ok {
+			t.Errorf("sweepValue(%q, %q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.name, c.param, family, x, ok, c.family, c.x, c.ok)
+		}
+	}
+}
+
+func TestAssembleCurves(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkKVStore/lock=cbl/procs=16", NsPerOp: 2e6,
+			Extra: map[string]float64{"p50-cycles": 16, "p99-cycles": 64}},
+		{Name: "BenchmarkKVStore/lock=cbl/procs=4", NsPerOp: 1e6,
+			Extra: map[string]float64{"p50-cycles": 16, "p99-cycles": 32}},
+		{Name: "BenchmarkKVStore/lock=mcs/procs=4", NsPerOp: 1.5e6,
+			Extra: map[string]float64{"p50-cycles": 32}},
+		{Name: "BenchmarkUnrelated", NsPerOp: 5}, // no sweep segment: dropped
+	}
+	curves := assembleCurves(entries, "procs")
+
+	// Families and metrics come out sorted: cbl before mcs, ns/op before
+	// p50-cycles before p99-cycles.
+	var got []string
+	for _, c := range curves {
+		got = append(got, c.Name+" "+c.Metric)
+	}
+	want := []string{
+		"BenchmarkKVStore/lock=cbl ns/op",
+		"BenchmarkKVStore/lock=cbl p50-cycles",
+		"BenchmarkKVStore/lock=cbl p99-cycles",
+		"BenchmarkKVStore/lock=mcs ns/op",
+		"BenchmarkKVStore/lock=mcs p50-cycles",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("curve set = %v, want %v", got, want)
+	}
+
+	// Points are sorted by the sweep parameter even when the input is not.
+	p99 := curves[2]
+	if p99.Param != "procs" {
+		t.Fatalf("param = %q", p99.Param)
+	}
+	wantPts := []CurvePoint{{X: 4, Value: 32}, {X: 16, Value: 64}}
+	if !reflect.DeepEqual(p99.Points, wantPts) {
+		t.Fatalf("p99 points = %v, want %v", p99.Points, wantPts)
+	}
+}

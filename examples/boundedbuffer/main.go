@@ -42,7 +42,9 @@ var (
 
 func slotAddr(i ssmp.Word) ssmp.Addr { return ringBase + ssmp.Addr(i%slots)*8 }
 
-func main() {
+// run executes the pipeline and returns the machine result plus the
+// producer- and consumer-side checksums.
+func run() (res ssmp.Result, produced, consumed ssmp.Word, err error) {
 	cfg := ssmp.DefaultConfig(nodes)
 	m := ssmp.NewMachine(cfg)
 	m.WriteMemory(emptySem, slots)
@@ -51,7 +53,6 @@ func main() {
 	full := ssmp.NewCBLSemaphore(fullSem)
 	ring := ssmp.CBLLock{Addr: ringLock}
 
-	var produced, consumed ssmp.Word
 	progs := make([]ssmp.Program, nodes)
 
 	for i := 0; i < producers; i++ {
@@ -85,7 +86,12 @@ func main() {
 		}
 	}
 
-	res, err := m.Run(progs)
+	res, err = m.Run(progs)
+	return res, produced, consumed, err
+}
+
+func main() {
+	res, produced, consumed, err := run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"ssmp"
+)
+
+// wantChecksum is the sum of every item the producers inject: producer i
+// pushes 1000*i+k+1 for k in [0, perProd).
+func wantChecksum() ssmp.Word {
+	var sum ssmp.Word
+	for i := 0; i < producers; i++ {
+		for k := 0; k < perProd; k++ {
+			sum += ssmp.Word(1000*i + k + 1)
+		}
+	}
+	return sum
+}
+
+// TestBoundedBufferConservation pins the pipeline's semantic invariant:
+// every item a producer pushes is consumed exactly once — the consumer-side
+// checksum equals the producer-side checksum, and both equal the closed-form
+// sum of the injected items (so a lost item cannot hide behind a duplicated
+// one).
+func TestBoundedBufferConservation(t *testing.T) {
+	res, produced, consumed, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantChecksum(); produced != want {
+		t.Fatalf("produced checksum %d, want %d", produced, want)
+	}
+	if produced != consumed {
+		t.Fatalf("consumed checksum %d != produced %d: an item was lost or duplicated", consumed, produced)
+	}
+	if res.Cycles == 0 || res.Messages == 0 {
+		t.Fatalf("implausible run metrics: cycles=%d messages=%d", res.Cycles, res.Messages)
+	}
+}
+
+// TestBoundedBufferDeterministic pins seed-0 stability: the example takes
+// no seed, so two runs must agree bit-for-bit on cycles and messages.
+func TestBoundedBufferDeterministic(t *testing.T) {
+	r1, _, _, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, _, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Messages != r2.Messages {
+		t.Fatalf("identical runs diverged: %d/%d cycles, %d/%d messages",
+			r1.Cycles, r2.Cycles, r1.Messages, r2.Messages)
+	}
+}

@@ -23,7 +23,7 @@ const (
 	tableBlock = ssmp.Addr(1024 * 4) // lock block; table words colocated
 )
 
-func run(sharedReads bool) (ssmp.Result, ssmp.Word) {
+func run(sharedReads bool) (ssmp.Result, ssmp.Word, error) {
 	cfg := ssmp.DefaultConfig(nodes)
 	m := ssmp.NewMachine(cfg)
 	// Table: word 1..3 of the lock block hold the (tiny) table; the grant
@@ -63,15 +63,18 @@ func run(sharedReads bool) (ssmp.Result, ssmp.Word) {
 	}
 
 	res, err := m.Run(progs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res, checksum
+	return res, checksum, err
 }
 
 func main() {
-	shared, sharedSum := run(true)
-	excl, exclSum := run(false)
+	shared, sharedSum, err := run(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	excl, exclSum, err := run(false)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("lookup table on %d nodes: %d readers x %d lookups, %d writer updates\n\n",
 		nodes, readers, lookups, updates)

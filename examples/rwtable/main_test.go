@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+// Checksum bounds: each lookup sums three table words that start at
+// 100+200+300 and each grow by 1 per writer update, so every lookup sees a
+// sum in [600, 600+3*updates].
+const (
+	sumLo = 600
+	sumHi = 600 + 3*updates
+)
+
+// TestRWTableChecksumBounds pins the table's semantic invariant under both
+// disciplines: a lookup can never observe a torn update — every sum lies
+// between the initial table and the fully-updated one, in multiples the
+// lookup count allows.
+func TestRWTableChecksumBounds(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		res, sum, err := run(shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := uint64(sumLo * readers * lookups)
+		hi := uint64(sumHi * readers * lookups)
+		if uint64(sum) < lo || uint64(sum) > hi {
+			t.Errorf("shared=%v: checksum %d outside [%d, %d]: a lookup saw a torn table",
+				shared, sum, lo, hi)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("shared=%v: zero cycles", shared)
+		}
+	}
+}
+
+// TestRWTableSharedBeatsExclusive pins the example's headline: READ-LOCK
+// readers batch compatible grants and must finish the identical workload in
+// fewer cycles than WRITE-LOCK-everything serialization.
+func TestRWTableSharedBeatsExclusive(t *testing.T) {
+	shared, _, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excl, _, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shared=%d cycles, exclusive=%d cycles", shared.Cycles, excl.Cycles)
+	if shared.Cycles >= excl.Cycles {
+		t.Fatalf("shared read locks (%d cycles) did not beat serialization (%d cycles)",
+			shared.Cycles, excl.Cycles)
+	}
+}
+
+// TestRWTableDeterministic pins seed-0 stability for both disciplines.
+func TestRWTableDeterministic(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		r1, s1, err := run(shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, s2, err := run(shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Cycles != r2.Cycles || s1 != s2 {
+			t.Fatalf("shared=%v diverged: %d/%d cycles, checksums %d/%d",
+				shared, r1.Cycles, r2.Cycles, s1, s2)
+		}
+	}
+}

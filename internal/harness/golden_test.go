@@ -76,6 +76,13 @@ func goldenDigests(t *testing.T, o Options) map[string]string {
 		t.Fatalf("synczoo barrier figure: %v", err)
 	}
 	out["synczoo-barrier"] = digest(bar.Table() + "\n" + bar.CSV())
+	p50, p99, thr, err := o.KVFigures()
+	if err != nil {
+		t.Fatalf("kv figures: %v", err)
+	}
+	out["kv-p50"] = digest(p50.Table() + "\n" + p50.CSV())
+	out["kv-p99"] = digest(p99.Table() + "\n" + p99.CSV())
+	out["kv-throughput"] = digest(thr.Table() + "\n" + thr.CSV())
 	return out
 }
 

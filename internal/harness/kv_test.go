@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"testing"
+
+	"ssmp/internal/litmus"
+	"ssmp/internal/network"
+)
+
+// TestKVFiguresShowSeparation pins the KV sweep's headline: under the
+// read-mostly default mix, the cbl-locked store (gets answered by the
+// READ-UPDATE fast path) must sit at or below the mcs-locked store in both
+// latency quantiles at the sweep's largest machine, and every series must
+// carry a point per processor count.
+func TestKVFiguresShowSeparation(t *testing.T) {
+	o := zooOptions()
+	p50, p99, thr, err := o.KVFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Figure{p50, p99, thr} {
+		if len(f.Series) != len(kvLocks) {
+			t.Fatalf("%s: %d series, want %d", f.Name, len(f.Series), len(kvLocks))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != len(o.Procs) {
+				t.Fatalf("%s/%s: %d points, want %d", f.Name, s.Name, len(s.Points), len(o.Procs))
+			}
+		}
+	}
+	cbl50, mcs50 := lastY(t, p50, "cbl"), lastY(t, p50, "mcs")
+	cbl99, mcs99 := lastY(t, p99, "cbl"), lastY(t, p99, "mcs")
+	t.Logf("at p=%d: p50 cbl=%.0f mcs=%.0f; p99 cbl=%.0f mcs=%.0f",
+		o.Procs[len(o.Procs)-1], cbl50, mcs50, cbl99, mcs99)
+	if cbl50 > mcs50 {
+		t.Errorf("cbl p50 (%.0f) above mcs (%.0f): fast path not separating", cbl50, mcs50)
+	}
+	if cbl99 > mcs99 {
+		t.Errorf("cbl p99 (%.0f) above mcs (%.0f): fast path not separating", cbl99, mcs99)
+	}
+	if thrLast := lastY(t, thr, "cbl"); thrLast <= 0 {
+		t.Errorf("cbl throughput %.3f not positive", thrLast)
+	}
+}
+
+// TestKVFiguresSurviveChaos sweeps the KV service over a faulty
+// interconnect: the per-key sequential-consistency oracle must hold in
+// every cell (KVFigures checks it and fails the sweep otherwise).
+func TestKVFiguresSurviveChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow; skipped in -short")
+	}
+	o := zooOptions()
+	o.Procs = []int{4, 8}
+	o.Faults = network.FaultConfig{Seed: 11, Rates: litmus.DefaultChaosRates()}
+	if _, _, _, err := o.KVFigures(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package kvapp
+
+import (
+	"context"
+	"testing"
+
+	"ssmp/internal/litmus"
+	"ssmp/internal/metrics"
+	"ssmp/internal/network"
+)
+
+// chaosCorpus is the client-population corpus the soak crosses with the
+// fault seeds: both protocols, open and closed loop, read-mostly and
+// write-heavy mixes, fast path on and off.
+func chaosCorpus() []Spec {
+	base := func(lock string) Spec {
+		s := DefaultSpec(4)
+		s.Lock = lock
+		s.Keys = 64
+		s.Shards = 4
+		s.Ops = 48
+		s.SubCap = 8
+		return s
+	}
+	readMostly := base("cbl")
+	writeHeavy := base("cbl")
+	writeHeavy.GetFrac, writeHeavy.PutFrac = 0.2, 0.5
+	closed := base("cbl")
+	closed.OpenLoop = false
+	noFast := base("cbl")
+	noFast.SubCap = 0
+	mcs := base("mcs")
+	mcsClosed := base("mcs")
+	mcsClosed.OpenLoop = false
+	mcsClosed.GetFrac, mcsClosed.PutFrac = 0.4, 0.3
+	return []Spec{readMostly, writeHeavy, closed, noFast, mcs, mcsClosed}
+}
+
+// TestChaosSoak runs the client corpus over a misbehaving interconnect
+// (drops, duplicates, delays at the litmus soak's standard rates) across
+// >=16 fault seeds. The reliable transport must keep every run alive, the
+// sequential-consistency oracle must hold on every single one, and the
+// sweep must actually have injected faults and recovered.
+func TestChaosSoak(t *testing.T) {
+	nSeeds := 16
+	if testing.Short() {
+		nSeeds = 4
+	}
+	seeds := litmus.ChaosSeeds(nSeeds)
+	rates := litmus.DefaultChaosRates()
+	var total metrics.FaultCounters
+	runs := 0
+	for _, spec := range chaosCorpus() {
+		for _, seed := range seeds {
+			res, err := Run(context.Background(), spec, RunOptions{
+				Jitter: seed,
+				Faults: network.FaultConfig{Seed: seed, Rates: rates},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := res.Check(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			total.Add(res.Sim.Faults)
+			runs++
+		}
+	}
+	if !total.Any() {
+		t.Fatalf("chaos soak injected no faults over %d runs", runs)
+	}
+	if total.Retries == 0 {
+		t.Fatalf("chaos soak exercised no retransmissions over %d runs", runs)
+	}
+}

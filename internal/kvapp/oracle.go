@@ -1,0 +1,134 @@
+package kvapp
+
+import (
+	"fmt"
+
+	"ssmp/internal/mem"
+)
+
+// Per-key sequential-consistency oracle.
+//
+// The store's structure admits a strong check without a general SC solver.
+// Every committed write to a key happens inside that key's shard critical
+// section and writes exactly cur+1, so the versions written to a key are
+// serialized by the lock: they form the total write order 1, 2, ..., W
+// directly. Against that order, a history is per-key sequentially
+// consistent iff
+//
+//  1. each version in 1..W was written exactly once (the critical section
+//     really serialized the read-modify-writes — a lost update or a
+//     non-atomic RMW shows up as a duplicate or a gap);
+//  2. no operation observed a version above the key's write count (values
+//     cannot come from the future or from thin air);
+//  3. each client's observations of a key are monotonically non-decreasing
+//     (once a client sees version v, it never sees v' < v — the
+//     read-update fast path, guarded client-side, must never travel
+//     backwards);
+//  4. on the CBL machine, the key's home memory ends at exactly W: every
+//     committed write was made globally visible by the releasing CP-Synch
+//     flush. (The WBI machine may leave the newest version dirty in the
+//     last writer's cache, so the memory cross-check is protocol-gated.)
+//
+// Checks 1+2 pin the write order itself; check 3 pins every client's view
+// to a point moving forward along it, which for single-word objects with a
+// known total write order is exactly per-key sequential consistency.
+
+// OracleReport is the verdict over one run's merged operation logs.
+type OracleReport struct {
+	// KeysWritten counts keys with at least one committed write.
+	KeysWritten int `json:"keys_written"`
+	// WritesChecked counts committed writes covered by the density check.
+	WritesChecked int `json:"writes_checked"`
+	// ReadsChecked counts operations covered by the monotonicity check.
+	ReadsChecked int `json:"reads_checked"`
+	// Violations holds human-readable findings; empty means the run passed.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Verdict renders the report's one-word outcome.
+func (r OracleReport) Verdict() string {
+	if len(r.Violations) == 0 {
+		return "pass"
+	}
+	return fmt.Sprintf("FAIL(%d)", len(r.Violations))
+}
+
+const maxViolations = 8
+
+func (r *OracleReport) violate(format string, args ...any) {
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkOracle verifies the per-processor operation logs. final, when
+// non-nil, reads a key's post-run home memory (CBL machines only).
+func checkOracle(keys int, logs [][]opRec, final func(key int) (mem.Word, bool)) OracleReport {
+	var rep OracleReport
+
+	// Write order: collect each key's committed versions and check density.
+	written := make(map[int][]mem.Word)
+	for proc, log := range logs {
+		for i, op := range log {
+			if op.key < 0 || op.key >= keys {
+				rep.violate("proc %d op %d: key %d outside key space [0,%d)", proc, i, op.key, keys)
+				continue
+			}
+			if op.wrote != 0 {
+				written[op.key] = append(written[op.key], op.wrote)
+			}
+		}
+	}
+	maxVer := make(map[int]mem.Word, len(written))
+	for key, vs := range written {
+		w := mem.Word(len(vs))
+		maxVer[key] = w
+		seen := make(map[mem.Word]bool, len(vs))
+		for _, v := range vs {
+			if seen[v] {
+				rep.violate("key %d: version %d written twice (lost update / broken mutual exclusion)", key, v)
+			}
+			seen[v] = true
+			if v < 1 || v > w {
+				rep.violate("key %d: wrote version %d outside dense range [1,%d]", key, v, w)
+			}
+		}
+		rep.KeysWritten++
+		rep.WritesChecked += len(vs)
+	}
+
+	// Client views: reads bounded by the write count, per-(proc,key)
+	// monotone. A committed write's own version counts as an observation.
+	for proc, log := range logs {
+		last := make(map[int]mem.Word)
+		for i, op := range log {
+			w := maxVer[op.key]
+			if op.read > w {
+				rep.violate("proc %d op %d (%s key %d): read version %d > write count %d (value from thin air)",
+					proc, i, op.kind, op.key, op.read, w)
+			}
+			if op.read < last[op.key] {
+				rep.violate("proc %d op %d (%s key %d): read version %d after observing %d (view moved backwards)",
+					proc, i, op.kind, op.key, op.read, last[op.key])
+			}
+			if op.read > last[op.key] {
+				last[op.key] = op.read
+			}
+			if op.wrote > last[op.key] {
+				last[op.key] = op.wrote
+			}
+			rep.ReadsChecked++
+		}
+	}
+
+	// Final memory: on CBL every committed write was flushed home.
+	if final != nil {
+		for key, w := range maxVer {
+			if got, ok := final(key); ok && got != w {
+				rep.violate("key %d: final home memory %d, want %d (committed write not made globally visible)",
+					key, got, w)
+			}
+		}
+	}
+	return rep
+}

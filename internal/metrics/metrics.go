@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -99,6 +100,20 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// Merge adds another histogram's samples into this one. Per-processor
+// histograms filled independently (for example under the PDES lane engine)
+// merge into one distribution after the run.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
@@ -119,7 +134,10 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.count))
+	// Nearest-rank with a ceiling: the q-quantile of n samples is the
+	// ceil(q*n)-th smallest, so p99 of two samples is the larger one —
+	// truncating here would report a "p99" below the observed max.
+	target := uint64(math.Ceil(q * float64(h.count)))
 	if target == 0 {
 		target = 1
 	}

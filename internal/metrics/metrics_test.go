@@ -95,6 +95,39 @@ func TestQuickQuantileMonotone(t *testing.T) {
 	}
 }
 
+// Property: Quantile(1) covers the max — the nearest-rank ceiling means the
+// top quantile of any sample set lands in the last occupied bucket, never
+// below it. (A truncated rank once made p99 of {1, 9} report 1.)
+func TestQuickQuantileCoversMax(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(uint64(s))
+		}
+		if h.Count() == 0 {
+			return h.Quantile(1) == 0
+		}
+		return h.Quantile(1) >= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileSmallCount pins the two-sample case that motivated the
+// ceiling rank: p99 of {1, 9} must bound the 9, not report the 1.
+func TestQuantileSmallCount(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(9)
+	if q := h.Quantile(0.99); q < 9 {
+		t.Fatalf("p99 of {1,9} = %d, below the max sample", q)
+	}
+	if q := h.Quantile(0.50); q != 1 {
+		t.Fatalf("p50 of {1,9} = %d, want 1 (bucket upper bound of the smaller)", q)
+	}
+}
+
 func TestSeries(t *testing.T) {
 	var s Series
 	s.Name = "CBL"

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// smallKV is a kv spec cheap enough for unit tests.
+const smallKV = `{"procs":4,"lock":"cbl","keys":64,"shards":4,"ops":32,"seed":7}`
+
+func TestKVEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/kv", smallKV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/kv: %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(jr.Key, "sha256:") {
+		t.Fatalf("key %q is not a content address", jr.Key)
+	}
+	raw, _ := json.Marshal(jr.Result)
+	var res KVResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.Ops != 4*32 {
+		t.Fatalf("ops=%d, want %d", res.Ops, 4*32)
+	}
+	if res.Cycles == 0 || res.P99 < res.P50 || res.Throughput <= 0 {
+		t.Fatalf("degenerate result: cycles=%d p50=%d p99=%d thr=%g",
+			res.Cycles, res.P50, res.P99, res.Throughput)
+	}
+	if len(res.Oracle.Violations) != 0 {
+		t.Fatalf("oracle violations in a successful response: %v", res.Oracle.Violations)
+	}
+
+	// Identical spec: cache hit with a bit-identical payload.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/kv", smallKV)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d: %s", resp2.StatusCode, body2)
+	}
+	var jr2 JobResponse
+	if err := json.Unmarshal(body2, &jr2); err != nil {
+		t.Fatal(err)
+	}
+	if !jr2.Cached || jr2.Key != jr.Key {
+		t.Fatalf("second identical kv request: cached=%v key match=%v", jr2.Cached, jr2.Key == jr.Key)
+	}
+}
+
+func TestKVWithFaults(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	spec := `{"procs":4,"lock":"mcs","keys":64,"shards":4,"ops":32,
+		"faults":{"seed":3,"drop":0.03,"dup":0.03,"delay":0.1}}`
+	resp, body := postJSON(t, ts.URL+"/v1/kv", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/kv with faults: %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(jr.Result)
+	var res KVResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil {
+		t.Fatal("fault counters absent from a faulted run")
+	}
+	if len(res.Oracle.Violations) != 0 {
+		t.Fatalf("oracle violations under faults: %v", res.Oracle.Violations)
+	}
+}
+
+func TestKVSpecValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	bad := []struct {
+		name, body, frag string
+	}{
+		{"procs", `{"procs":3}`, "power of two"},
+		{"lock", `{"lock":"nope"}`, "unknown lock"},
+		{"mix", `{"get_frac":0.9,"put_frac":0.3}`, "mix"},
+		{"workers", `{"sim_workers":2}`, "ideal_network"},
+		{"inert faults", `{"faults":{"seed":0}}`, "inert"},
+		{"unknown field", `{"procz":4}`, "unknown field"},
+		{"ops cap", `{"ops":100000}`, "ops"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/kv", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.frag) {
+				t.Fatalf("error %s does not mention %q", body, tc.frag)
+			}
+		})
+	}
+}
+
+// TestKVSpecKeyStability pins the kv cache key's canonical form: defaults
+// applied explicitly and defaults applied by normalization address the same
+// result, and any parameter change addresses a different one.
+func TestKVSpecKeyStability(t *testing.T) {
+	a := &KVSpec{Procs: 8}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := &KVSpec{Procs: 8, Lock: "cbl", Keys: 1024}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("explicit defaults changed the cache key")
+	}
+	c := &KVSpec{Procs: 8, Lock: "mcs"}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Key() == a.Key() {
+		t.Fatal("different lock scheme, same cache key")
+	}
+}
+
+// TestMetricsLatencySummary pins the satellite: after an executed job,
+// GET /metrics reports the wall-latency quantile summary, not just the
+// histogram.
+func TestMetricsLatencySummary(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	if resp, body := postJSON(t, ts.URL+"/v1/kv", smallKV); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/kv: %d: %s", resp.StatusCode, body)
+	}
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d: %s", resp.StatusCode, body)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Latency.Count != 1 {
+		t.Fatalf("latency count=%d, want 1 executed job", snap.Latency.Count)
+	}
+	if snap.Latency.P50MS == 0 || snap.Latency.P99MS < snap.Latency.P50MS {
+		t.Fatalf("degenerate latency summary: %+v", snap.Latency)
+	}
+	if snap.Latency.MaxMS > snap.Latency.P99MS {
+		t.Fatalf("p99 %d below max %d (quantile must be an upper bound)",
+			snap.Latency.P99MS, snap.Latency.MaxMS)
+	}
+}

@@ -127,6 +127,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/figure", s.handleFigurePost)
 	s.mux.HandleFunc("GET /v1/figure/{n}", s.handleFigureGet)
+	s.mux.HandleFunc("POST /v1/kv", s.handleKV)
 	s.mux.HandleFunc("POST /v1/litmus", s.handleLitmusPost)
 	s.mux.HandleFunc("GET /v1/litmus", s.handleLitmusList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -508,6 +509,10 @@ type MetricsSnapshot struct {
 		// StatesPerWallSecond is the engine's aggregate throughput.
 		StatesPerWallSecond float64 `json:"states_per_wall_second"`
 	} `json:"litmus"`
+	// Latency summarizes executed-job wall time: count, mean, and the
+	// p50/p99 quantiles (upper bounds at the histogram's power-of-two
+	// bucket resolution). Cache hits are not samples.
+	Latency LatencySummary `json:"latency"`
 	// LatencyMS is the executed-job wall-time histogram
 	// (metrics.Histogram's JSON form; cache hits are not samples).
 	LatencyMS json.RawMessage `json:"latency_ms"`
@@ -520,6 +525,26 @@ type MetricsSnapshot struct {
 	// RMR aggregates remote-memory-reference classification (local vs
 	// remote shared references, plus writebacks) over executed sim jobs.
 	RMR metrics.RMRCounters `json:"rmr"`
+}
+
+// LatencySummary is the quantile summary of a latency histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  uint64  `json:"p50_ms"`
+	P99MS  uint64  `json:"p99_ms"`
+	MaxMS  uint64  `json:"max_ms"`
+}
+
+// summarize reduces a histogram to its headline quantiles.
+func summarize(h *metrics.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMS: h.Mean(),
+		P50MS:  h.Quantile(0.50),
+		P99MS:  h.Quantile(0.99),
+		MaxMS:  h.Max(),
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -556,6 +581,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.statsMu.Lock()
 	snap.Faults = s.faults
 	snap.RMR = s.rmr
+	snap.Latency = summarize(&s.latency)
 	lat, err := json.Marshal(&s.latency)
 	if err == nil {
 		snap.LatencyMS = lat

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ssmp/internal/sim"
+)
+
+// Seeded arrival and popularity generators for application-scale workloads
+// (the kvapp client population, and anything else that needs a skewed,
+// bursty, *reproducible* request stream). Everything here draws from
+// explicit splitmix64 streams — never from the math/rand global — so a
+// population of thousands of clients is deterministic regardless of how the
+// host schedules the simulation (serial engine or any SimWorkers setting):
+// each client owns its stream, and a stream's output depends only on its
+// seed and draw count.
+
+// Stream is a splitmix64 pseudo-random stream: the same mixer the schedule
+// jitter and fault plane use, here packaged for workload generators. The
+// zero value is a valid (seed-0) stream; NewStream derives independent
+// streams from a (seed, id) pair.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns the stream identified by (seed, id). Distinct ids give
+// decorrelated streams under the same seed.
+func NewStream(seed, id uint64) *Stream {
+	s := &Stream{state: seed ^ mix64(id+0x9E3779B97F4A7C15)}
+	// Warm the state so adjacent (seed, id) pairs decorrelate immediately.
+	s.Uint64()
+	return s
+}
+
+// mix64 is the splitmix64 output function.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Uint64 advances the stream one step.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform draw in [0, n).
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: IntN(%d)", n))
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// maxZipfKeys bounds the sampler's precomputed table (8 bytes per key).
+const maxZipfKeys = 1 << 22
+
+// Zipf samples key ranks with probability proportional to 1/(rank+1)^theta:
+// rank 0 is the hottest key. The cumulative table is built once and shared
+// read-only by any number of streams, so a client population samples
+// without synchronization. Theta 0 is uniform; theta ~0.99 is the classic
+// YCSB-style skew.
+type Zipf struct {
+	cdf   []float64 // cdf[k] = P(rank <= k), ascending, last entry 1.0
+	theta float64
+}
+
+// NewZipf builds the sampler for the given key-space size and skew.
+func NewZipf(keys int, theta float64) *Zipf {
+	if keys < 1 || keys > maxZipfKeys {
+		panic(fmt.Sprintf("workload: NewZipf keys must be in [1,%d], got %d", maxZipfKeys, keys))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("workload: NewZipf theta must be >= 0, got %g", theta))
+	}
+	cdf := make([]float64, keys)
+	sum := 0.0
+	for k := 0; k < keys; k++ {
+		sum += math.Pow(float64(k+1), -theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[keys-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, theta: theta}
+}
+
+// Keys returns the key-space size.
+func (z *Zipf) Keys() int { return len(z.cdf) }
+
+// Theta returns the skew exponent.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Sample draws one key rank from the stream.
+func (z *Zipf) Sample(s *Stream) int {
+	u := s.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Bursty parameterizes an on/off arrival process: requests arrive in bursts
+// of geometrically distributed length with exponential gaps inside a burst,
+// separated by longer exponential silences. MeanBurst 1 with MeanOff 0
+// degenerates to a plain Poisson-like process at rate 1/MeanGap.
+type Bursty struct {
+	// MeanGap is the mean inter-arrival gap (cycles) inside a burst.
+	MeanGap sim.Time
+	// MeanOff is the mean extra silence (cycles) between bursts.
+	MeanOff sim.Time
+	// MeanBurst is the mean number of arrivals per burst (>= 1).
+	MeanBurst int
+}
+
+// Validate reports whether the process is usable.
+func (b Bursty) Validate() error {
+	if b.MeanGap < 1 || b.MeanOff < 0 || b.MeanBurst < 1 {
+		return fmt.Errorf("workload: bursty process needs MeanGap >= 1, MeanOff >= 0, MeanBurst >= 1: %+v", b)
+	}
+	return nil
+}
+
+// Arrivals is one client's stateful arrival process over its own stream.
+type Arrivals struct {
+	cfg  Bursty
+	s    *Stream
+	left int // arrivals remaining in the current burst
+}
+
+// NewArrivals builds the arrival process for client id under seed.
+func NewArrivals(cfg Bursty, seed, id uint64) *Arrivals {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Arrivals{cfg: cfg, s: NewStream(seed, id^0xA5A5A5A5_5A5A5A5A)}
+}
+
+// expGap draws an exponential gap with the given mean, at least 1 cycle.
+func expGap(s *Stream, mean sim.Time) sim.Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	g := sim.Time(float64(mean) * -math.Log(1-u))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// geometric draws a geometric burst length with the given mean (>= 1).
+func geometric(s *Stream, mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / float64(mean)
+	u := s.Float64()
+	n := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Next returns the gap (cycles, >= 1) from the previous arrival to the next
+// one: an in-burst gap, or — at burst boundaries — the off-period silence
+// plus the next burst's first gap.
+func (a *Arrivals) Next() sim.Time {
+	gap := expGap(a.s, a.cfg.MeanGap)
+	if a.left == 0 {
+		a.left = geometric(a.s, a.cfg.MeanBurst)
+		if a.cfg.MeanOff > 0 {
+			gap += expGap(a.s, a.cfg.MeanOff)
+		}
+	}
+	a.left--
+	return gap
+}

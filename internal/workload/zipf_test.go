@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ssmp/internal/sim"
+)
+
+// TestStreamDeterminism pins that streams are pure functions of (seed, id):
+// two streams with equal parameters agree draw for draw, and distinct ids
+// decorrelate.
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(42, 7), NewStream(42, 7)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("identical (seed,id) streams diverged")
+	}
+	c, d := NewStream(42, 7), NewStream(42, 8)
+	equal := 0
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("adjacent ids collided on %d of 1000 draws", equal)
+	}
+}
+
+// TestStreamUniform sanity-checks Float64's range and mean.
+func TestStreamUniform(t *testing.T) {
+	s := NewStream(1, 1)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		u := s.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %g, want ~0.5", mean)
+	}
+}
+
+// TestZipfShape checks the sampler against the law it claims: the ratio of
+// rank-0 to rank-9 frequencies must be ~10^theta, and frequencies must fall
+// with rank.
+func TestZipfShape(t *testing.T) {
+	const keys, n = 1000, 400_000
+	for _, theta := range []float64{0.8, 0.99} {
+		z := NewZipf(keys, theta)
+		s := NewStream(99, 0)
+		counts := make([]int, keys)
+		for i := 0; i < n; i++ {
+			k := z.Sample(s)
+			if k < 0 || k >= keys {
+				t.Fatalf("sample %d out of range", k)
+			}
+			counts[k]++
+		}
+		want := math.Pow(10, theta)
+		got := float64(counts[0]) / float64(counts[9])
+		if math.Abs(got-want)/want > 0.15 {
+			t.Fatalf("theta=%g: rank0/rank9 frequency ratio %.2f, want ~%.2f", theta, got, want)
+		}
+		// Coarse monotonicity: decade bucket sums must fall with rank.
+		b0 := sum(counts[0:10])
+		b1 := sum(counts[10:100])
+		b2 := sum(counts[100:1000])
+		if !(b0 > 0 && b1 > 0 && b2 > 0) {
+			t.Fatalf("theta=%g: empty decade bucket (%d,%d,%d)", theta, b0, b1, b2)
+		}
+		perKey0 := float64(b0) / 10
+		perKey1 := float64(b1) / 90
+		perKey2 := float64(b2) / 900
+		if !(perKey0 > perKey1 && perKey1 > perKey2) {
+			t.Fatalf("theta=%g: per-key frequency not decreasing across decades: %.1f %.1f %.1f",
+				theta, perKey0, perKey1, perKey2)
+		}
+	}
+}
+
+// TestZipfUniform pins theta=0 as the uniform distribution.
+func TestZipfUniform(t *testing.T) {
+	const keys, n = 64, 256_000
+	z := NewZipf(keys, 0)
+	s := NewStream(5, 3)
+	counts := make([]int, keys)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	want := float64(n) / keys
+	for k, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.10 {
+			t.Fatalf("theta=0: key %d frequency %d deviates >10%% from uniform %g", k, c, want)
+		}
+	}
+}
+
+// TestZipfDeterminism pins bit-identical sampling for equal seeds.
+func TestZipfDeterminism(t *testing.T) {
+	z := NewZipf(512, 0.99)
+	a, b := NewStream(7, 1), NewStream(7, 1)
+	for i := 0; i < 10_000; i++ {
+		if z.Sample(a) != z.Sample(b) {
+			t.Fatal("equal-seed zipf streams diverged")
+		}
+	}
+}
+
+// TestArrivalsShape checks the on/off process: the long-run mean gap must
+// be ~(MeanGap + MeanOff/MeanBurst), and off-period silences must actually
+// appear (gaps well above the in-burst scale at roughly 1/MeanBurst of
+// draws).
+func TestArrivalsShape(t *testing.T) {
+	cfg := Bursty{MeanGap: 100, MeanOff: 4000, MeanBurst: 8}
+	a := NewArrivals(cfg, 11, 0)
+	const n = 200_000
+	var total sim.Time
+	long := 0
+	for i := 0; i < n; i++ {
+		g := a.Next()
+		if g < 1 {
+			t.Fatalf("gap %d < 1", g)
+		}
+		total += g
+		if g > 1000 {
+			long++
+		}
+	}
+	wantMean := float64(cfg.MeanGap) + float64(cfg.MeanOff)/float64(cfg.MeanBurst)
+	gotMean := float64(total) / n
+	if math.Abs(gotMean-wantMean)/wantMean > 0.10 {
+		t.Fatalf("mean gap %.1f, want ~%.1f", gotMean, wantMean)
+	}
+	wantLong := float64(n) / float64(cfg.MeanBurst)
+	if math.Abs(float64(long)-wantLong)/wantLong > 0.25 {
+		t.Fatalf("long gaps %d, want ~%.0f (burst structure missing)", long, wantLong)
+	}
+}
+
+// TestArrivalsDeterminism pins the process as a pure function of its
+// parameters.
+func TestArrivalsDeterminism(t *testing.T) {
+	cfg := Bursty{MeanGap: 50, MeanOff: 500, MeanBurst: 4}
+	a, b := NewArrivals(cfg, 3, 9), NewArrivals(cfg, 3, 9)
+	for i := 0; i < 10_000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("equal-seed arrival processes diverged")
+		}
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

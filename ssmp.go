@@ -33,10 +33,13 @@
 package ssmp
 
 import (
+	"context"
+
 	"ssmp/internal/analytic"
 	"ssmp/internal/core"
 	"ssmp/internal/harness"
 	"ssmp/internal/history"
+	"ssmp/internal/kvapp"
 	"ssmp/internal/mem"
 	"ssmp/internal/metrics"
 	"ssmp/internal/network"
@@ -188,6 +191,29 @@ func RunLockBench(a LockAlgo, o synczoo.LockBenchOptions) (LockBenchPoint, error
 // separation.
 func RunBarrierBench(a BarrierAlgo, o synczoo.BarrierBenchOptions) (BarrierBenchPoint, error) {
 	return synczoo.RunBarrierBench(a, o)
+}
+
+// In-sim key-value service (package kvapp): a sharded store whose server
+// loops run on the simulated multiprocessor, driven by a seeded synthetic
+// client population, with a per-key sequential-consistency oracle checked
+// after every run.
+type (
+	// KVSpec parameterizes the store and its client population.
+	KVSpec = kvapp.Spec
+	// KVRunOptions carry the machine-level knobs for a KV run.
+	KVRunOptions = kvapp.RunOptions
+	// KVResult is a completed KV run (latency, counters, oracle verdict).
+	KVResult = kvapp.Result
+)
+
+// DefaultKVSpec returns the read-mostly default population for the given
+// machine size.
+func DefaultKVSpec(procs int) KVSpec { return kvapp.DefaultSpec(procs) }
+
+// RunKV executes a key-value service run; check Result.Check() for the
+// oracle's verdict.
+func RunKV(ctx context.Context, s KVSpec, o KVRunOptions) (*KVResult, error) {
+	return kvapp.Run(ctx, s, o)
 }
 
 // Workload models (package workload).
