@@ -47,17 +47,18 @@ bench-sync:
 			-out results/BENCH_6.json -latest results/BENCH_latest.json
 	@cat results/BENCH_6.json
 
-# PDES scaling record: the 512-node stencil swept across engine worker
-# counts (workers=0 is the classic serial engine), with within-report
-# speedup ratios against that serial baseline annotated as vs_base (see
-# cmd/benchjson -ratio-base). Written to results/BENCH_7.json. The report's
-# "cpus" field matters when reading the curve: wall-clock speedup cannot
-# exceed min(workers, cpus).
+# PDES scaling record: the 1024-node stencil swept across engine worker
+# counts (workers=0 is the classic serial engine) on both the ideal and
+# the contended network, plus the closed-loop KV service on the contended
+# network, with within-report speedup ratios against each family's serial
+# baseline annotated as vs_base (see cmd/benchjson -ratio-base). Written
+# to results/BENCH_9.json. The report's "cpus" field matters when reading
+# the curve: wall-clock speedup cannot exceed min(workers, cpus).
 bench-pdes:
-	$(GO) test '-bench=PDESStencil' -benchmem -benchtime=2x -count=3 -run=^$$ . \
+	$(GO) test '-bench=PDESStencil|PDESKV' -benchmem -benchtime=2x -count=3 -run=^$$ . \
 		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -ratio-base=workers=0 \
-			-out results/BENCH_7.json -latest results/BENCH_latest.json
-	@cat results/BENCH_7.json
+			-out results/BENCH_9.json -latest results/BENCH_latest.json
+	@cat results/BENCH_9.json
 
 # Key-value service latency record: the in-sim KV store swept across
 # machine sizes for cbl vs mcs shard locks, with p50/p99/throughput per
@@ -70,13 +71,15 @@ bench-kv:
 			-out results/BENCH_8.json -latest results/BENCH_latest.json
 	@cat results/BENCH_8.json
 
-# PDES determinism gate: the parallel engine's unit tests plus every
-# workers=1-vs-N equality property (engine, workload, harness, daemon)
-# under the race detector.
+# PDES determinism gate: the parallel engine's unit tests, the window-merge
+# port-arbitration parity suite, and every workers=1-vs-N equality property
+# (engine, network, workload, harness, daemon) under the race detector. The
+# bench line runs both the ideal and the contended stencil (the PDESStencil
+# pattern substring-matches PDESStencilContended).
 pdes:
 	$(GO) test -race ./internal/sim/
-	$(GO) test -race -run 'PDES|Parallel|Stencil|SimWorkers' \
-		./internal/core/ ./internal/workload/ ./internal/harness/ ./internal/server/
+	$(GO) test -race -run 'PDES|Parallel|Stencil|SimWorkers|LaneArbitration' \
+		./internal/core/ ./internal/network/ ./internal/workload/ ./internal/harness/ ./internal/server/
 	$(GO) test '-bench=PDESStencil/workers=(0|2)$$' -benchtime=1x -run=^$$ .
 
 # Synchronization-zoo litmus: the mutual-exclusion and barrier-separation

@@ -874,15 +874,28 @@ func BenchmarkLitmusCorpus(b *testing.B) {
 // the time-windowed lane engine. All variants produce bit-identical
 // strips (checked against the sequential reference each run).
 func BenchmarkPDESStencil(b *testing.B) {
+	benchmarkPDESStencil(b, true, []int{0, 1, 2, 4, 8})
+}
+
+// BenchmarkPDESStencilContended is the same sweep on the real contended
+// omega network: switch-port queueing on, window-barrier arbitration
+// resolving contention at each merge. The speedup the lane engine keeps
+// here — not the ideal-network one — is the number that says the PDES
+// engine runs the machine the paper measures.
+func BenchmarkPDESStencilContended(b *testing.B) {
+	benchmarkPDESStencil(b, false, []int{0, 2, 4})
+}
+
+func benchmarkPDESStencil(b *testing.B, ideal bool, workerSet []int) {
 	spec := workload.StencilSpec{Procs: 1024, CellsPer: 48, Iters: 6, Work: 8}
 	want := spec.Reference()
-	for _, w := range []int{0, 1, 2, 4, 8} {
+	for _, w := range workerSet {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				cfg := ssmp.DefaultConfig(spec.Procs)
-				cfg.IdealNetwork = true
+				cfg.IdealNetwork = ideal
 				cfg.SimWorkers = w
 				m := core.NewMachine(cfg)
 				progs, strips := spec.Programs(m.Geometry())
@@ -900,6 +913,39 @@ func BenchmarkPDESStencil(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles/op")
+		})
+	}
+}
+
+// BenchmarkPDESKV drives the in-sim key-value service — closed control
+// loops, retransmission timers and all — through the lane engine on the
+// contended network, against the workers=0 serial baseline. Unlike the
+// open-loop stencil, KV sessions react to replies, so this is the
+// adversarial case for window-barrier arbitration: every window's merge
+// replays contended sends before the next window's reactions are computed.
+func BenchmarkPDESKV(b *testing.B) {
+	spec := ssmp.DefaultKVSpec(64)
+	spec.Keys = 256
+	spec.Shards = 16
+	spec.Sessions = 2
+	spec.Ops = 64
+	spec.SubCap = 32
+	for _, w := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var res *ssmp.KVResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = ssmp.RunKV(context.Background(), spec, ssmp.KVRunOptions{SimWorkers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Check(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Sim.Cycles), "sim-cycles/op")
+			b.ReportMetric(res.ThroughputOpsPerKCycle(), "ops/kcycle")
 		})
 	}
 }

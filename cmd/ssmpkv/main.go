@@ -5,13 +5,14 @@
 // Usage:
 //
 //	ssmpkv run   [-procs 16] [-lock cbl] [-keys 1024] [-shards 16] [-ops 256] ...
-//	ssmpkv sweep [-procs 4,8,16,32,64] [-locks cbl,mcs] [-workers N -ideal] [-csv] [-json]
+//	ssmpkv sweep [-procs 4,8,16,32,64] [-locks cbl,mcs] [-workers N] [-csv] [-json]
 //	ssmpkv soak  [-seeds 16] [-procs 4]
 //
 // run executes one population and prints the latency/throughput summary;
 // sweep crosses processor counts with lock managers and prints the
-// p50/p99/throughput curves (use -workers with -ideal to push the sweep to
-// hundreds or 1024 nodes on the PDES engine); soak crosses a corpus of
+// p50/p99/throughput curves (use -workers to push the sweep to hundreds or
+// 1024 nodes on the PDES engine, which is lane-safe on the contended
+// network); soak crosses a corpus of
 // client populations with fault seeds on a misbehaving interconnect and
 // checks the sequential-consistency oracle on every run.
 package main
@@ -55,7 +56,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ssmpkv run   [-procs 16] [-lock cbl] [-keys 1024] [-shards 16] [-ops 256] [-json] ...
-  ssmpkv sweep [-procs 4,8,16,32,64] [-locks cbl,mcs] [-workers N -ideal] [-csv] [-json]
+  ssmpkv sweep [-procs 4,8,16,32,64] [-locks cbl,mcs] [-workers N] [-csv] [-json]
   ssmpkv soak  [-seeds 16] [-procs 4] [-drop 0.03] [-dup 0.03] [-delay 0.1]`)
 	os.Exit(2)
 }
@@ -88,8 +89,8 @@ func specFlags(fs *flag.FlagSet, def kvapp.Spec) (*kvapp.Spec, func()) {
 func runOptFlags(fs *flag.FlagSet) *kvapp.RunOptions {
 	o := &kvapp.RunOptions{}
 	fs.Uint64Var(&o.Jitter, "jitter", 0, "schedule jitter seed")
-	fs.IntVar(&o.SimWorkers, "workers", 0, "PDES engine workers (requires -ideal)")
-	fs.BoolVar(&o.IdealNetwork, "ideal", false, "ideal (contention-free) network")
+	fs.IntVar(&o.SimWorkers, "workers", 0, "PDES engine workers (lane-safe on the contended network)")
+	fs.BoolVar(&o.IdealNetwork, "ideal", false, "ideal (contention-free) network (ablation)")
 	return o
 }
 

@@ -5,9 +5,11 @@
 //
 //	ssmpsim -procs 16 -proto cbl -consistency bc -workload queue -grain 128
 //
-// The stencil workload plus -workers drives the parallel (PDES) engine:
+// The stencil workload plus -workers drives the parallel (PDES) engine,
+// which is lane-safe on the contended omega and mesh networks (only the
+// bus degrades to the serial engine):
 //
-//	ssmpsim -procs 512 -workload stencil -ideal-net -workers 8 -cpuprofile cpu.pb.gz
+//	ssmpsim -procs 512 -workload stencil -workers 8 -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -41,7 +43,7 @@ func main() {
 	dirPtrs := flag.Int("dir-pointers", 0, "wbi: limited directory pointer count (0 = full map)")
 	topology := flag.String("topology", "omega", "interconnect: omega | mesh | bus")
 	msgTrace := flag.Bool("msgtrace", false, "dump every message to stderr")
-	workers := flag.Int("workers", 0, "parallel (PDES) engine workers; 0 = serial engine, requires -ideal-net")
+	workers := flag.Int("workers", 0, "parallel (PDES) engine workers; 0 = serial engine")
 	jitter := flag.Uint64("jitter", 0, "schedule-jitter seed (0 = canonical schedule)")
 	cells := flag.Int("cells", 64, "stencil: cells per processor strip")
 	iters := flag.Int("iters", 20, "stencil: Jacobi iterations")
@@ -82,8 +84,8 @@ func main() {
 	default:
 		log.Fatalf("unknown topology %q", *topology)
 	}
-	if *workers > 0 && !*ideal {
-		log.Fatalf("-workers requires -ideal-net (the parallel engine's lane-safety precondition)")
+	if *workers > 0 && cfg.Topology == network.TopBus {
+		fmt.Fprintln(os.Stderr, "note: the bus is a single shared medium; lane mode degrades to the serial engine")
 	}
 
 	var progs []ssmp.Program
@@ -145,6 +147,8 @@ func main() {
 		*procs, cfg.Protocol, cfg.Consistency, *wl, kitName)
 	if m.Lanes() > 0 {
 		fmt.Printf("engine:         parallel, %d lanes, %d workers\n", m.Lanes(), *workers)
+	} else if reason := m.LaneFallback(); reason != "" {
+		fmt.Printf("engine:         serial (lane fallback: %s)\n", reason)
 	} else {
 		fmt.Printf("engine:         serial\n")
 	}

@@ -137,12 +137,15 @@ type Config struct {
 	// follow the lane-keyed event order, which is its own deterministic
 	// discipline, distinct from the serial engine's global insertion order.
 	// 0 (the default) keeps the classic serial engine and its exact event
-	// order, so existing golden digests are untouched. Lane mode requires
-	// the ideal (contention-free) network — switch-port contention is
-	// global, timestamp-ordered state with zero lookahead — so a config
-	// that is not lane-safe degrades to the serial engine (Machine.Lanes
-	// reports the decision). History recording, message tracing, and OnOp
-	// observers are serial-only and panic under lane mode.
+	// order, so existing golden digests are untouched. Contended networks
+	// (Ω and mesh) are lane-safe: switch-port occupancy is resolved by the
+	// coordinator's window-barrier arbiter in global injection-key order
+	// (network.NewParallel), so IdealNetwork is no longer required. The one
+	// configuration that still degrades to the serial engine is the bus
+	// topology — a single shared medium with no lane-parallel structure —
+	// reported via Machine.LaneFallback / Result.LaneFallback. History
+	// recording, message tracing, and OnOp observers are serial-only and
+	// panic under lane mode.
 	SimWorkers int
 }
 

@@ -53,30 +53,38 @@ type Machine struct {
 	geom  mem.Geometry
 	nodes []*node
 
-	running  bool
-	aborting bool
-	finished atomic.Int32
-	hist     *history.Recorder
-	onOp     func(OpRecord)
+	running      bool
+	aborting     bool
+	finished     atomic.Int32
+	hist         *history.Recorder
+	onOp         func(OpRecord)
+	laneFallback string // why SimWorkers degraded to serial ("" = it didn't)
 }
 
 // NewMachine builds a machine; it panics on an invalid configuration.
 //
-// With Config.SimWorkers > 0 on a lane-safe configuration (ideal network),
-// the machine is assembled in lane mode: one sim engine per node, per-node
-// fabric views with their own message collectors and transport instances,
-// and a PDES coordinator whose lookahead is the network's minimum
-// cross-node latency. Everything a node's controllers touch — store, cache,
-// lock cache, write buffer, RMR row, per-link fault streams and transport
-// state — is owned by that node's lane; the only cross-lane channel is the
-// network, whose deliveries go through the coordinator's deterministic
-// window merge. A non-lane-safe configuration degrades to the serial
-// engine; Lanes reports the decision.
+// With Config.SimWorkers > 0 the machine is assembled in lane mode: one sim
+// engine per node, per-node fabric views with their own message collectors
+// and transport instances, and a PDES coordinator whose lookahead is the
+// network's minimum cross-node latency. Everything a node's controllers
+// touch — store, cache, lock cache, write buffer, RMR row, per-link fault
+// streams and transport state — is owned by that node's lane; the only
+// cross-lane channels are the network's deterministic window merge and,
+// with contention on, the coordinator's window-barrier port arbiter
+// (network.NewParallel). The bus topology degrades to the serial engine;
+// Lanes and LaneFallback report the decision.
 func NewMachine(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	lanes := cfg.SimWorkers > 0 && cfg.IdealNetwork
+	lanes := cfg.SimWorkers > 0
+	laneFallback := ""
+	if lanes && cfg.Topology == network.TopBus {
+		// The bus is one global serially-reusable resource: every cross-node
+		// message would serialize through the barrier arbiter, so lane mode
+		// offers zero parallelism and pure coordination overhead.
+		lanes, laneFallback = false, LaneFallbackBus
+	}
 	var eng *sim.Engine
 	var par *sim.Parallel
 	var nw *network.Network
@@ -103,7 +111,7 @@ func NewMachine(cfg Config) *Machine {
 		fab.EnableTransport(cfg.FaultRTO)
 	}
 	geom := mem.Geometry{BlockWords: cfg.BlockWords, Nodes: cfg.Nodes}
-	m := &Machine{cfg: cfg, eng: eng, par: par, net: nw, fab: fab, geom: geom}
+	m := &Machine{cfg: cfg, eng: eng, par: par, net: nw, fab: fab, geom: geom, laneFallback: laneFallback}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{id: i, store: mem.NewStore(geom)}
@@ -143,13 +151,27 @@ func NewMachine(cfg Config) *Machine {
 
 // Lanes returns the number of PDES lanes the machine runs on, or 0 when it
 // uses the classic serial engine (SimWorkers == 0, or a configuration that
-// is not lane-safe and degraded to serial).
+// is not lane-safe and degraded to serial — see LaneFallback).
 func (m *Machine) Lanes() int {
 	if m.par == nil {
 		return 0
 	}
 	return m.par.Lanes()
 }
+
+// LaneFallbackBus is the LaneFallback reason reported when SimWorkers was
+// requested on the bus topology: the bus is a single global shared medium,
+// so lane mode would serialize every message through the barrier arbiter —
+// all coordination cost, zero available parallelism — and the machine
+// deliberately runs the serial engine instead.
+const LaneFallbackBus = "bus_topology"
+
+// LaneFallback returns a machine-readable reason when Config.SimWorkers > 0
+// was requested but the machine degraded to the serial engine, or "" when
+// lane mode is active (or was never requested). The same value is surfaced
+// on Result.LaneFallback so callers that only see run output — the ssmpd
+// API among them — can tell a degraded run from a parallel one.
+func (m *Machine) LaneFallback() string { return m.laneFallback }
 
 // dispatch routes an inbound message to the owning controller.
 func (m *Machine) dispatch(nodeID int, mg *msg.Msg) {
@@ -290,6 +312,10 @@ type Result struct {
 	// RMR totals the remote-memory-reference classification over all
 	// processors; Machine.RMRs has the per-processor breakdown.
 	RMR metrics.RMRCounters
+	// LaneFallback is the machine-readable reason this run degraded to the
+	// serial engine despite Config.SimWorkers > 0 (e.g. LaneFallbackBus).
+	// Empty when lane mode ran, or when SimWorkers was 0.
+	LaneFallback string
 }
 
 // ErrDeadlock is returned when the event queue drains with processors still
@@ -409,6 +435,7 @@ func (m *Machine) RunContext(ctx context.Context, programs []Program) (Result, e
 		MeanNetQueueing: st.MeanQueueing(),
 		Faults:          m.faultCounters(),
 		RMR:             m.fab.RMR.Total(),
+		LaneFallback:    m.laneFallback,
 	}
 	if utilN > 0 {
 		res.MeanUtilization = utilSum / float64(utilN)

@@ -61,9 +61,10 @@ func runPDES(t *testing.T, cfg Config, workers int) Result {
 }
 
 // TestPDESWorkerCountEquality is the machine-level determinism bar: the
-// full Result — cycles, events, messages, latencies, utilization, fault
-// and RMR totals — is bit-identical at every worker count, across
-// protocols, jitter seeds, and fault seeds.
+// full Result — cycles, events, messages, latencies, queueing, utilization,
+// fault and RMR totals — is bit-identical at every worker count, across
+// protocols, topologies (contended Ω and mesh included), jitter seeds, and
+// fault seeds.
 func TestPDESWorkerCountEquality(t *testing.T) {
 	base := DefaultConfig(8)
 	base.IdealNetwork = true
@@ -79,12 +80,28 @@ func TestPDESWorkerCountEquality(t *testing.T) {
 			c.Jitter = 5
 			c.Faults = network.FaultConfig{Seed: 9, Rates: network.FaultRates{Drop: 0.01, Dup: 0.03, Delay: 0.04}}
 		},
+		"contended":      func(c *Config) { c.IdealNetwork = false },
+		"contended-mesh": func(c *Config) { c.IdealNetwork = false; c.Topology = network.TopMesh },
+		"contended-jitter-faults": func(c *Config) {
+			c.IdealNetwork = false
+			c.Jitter = 5
+			c.Faults = network.FaultConfig{Seed: 9, Rates: network.FaultRates{Drop: 0.01, Dup: 0.03, Delay: 0.04}}
+		},
+		"contended-mesh-jitter-faults": func(c *Config) {
+			c.IdealNetwork = false
+			c.Topology = network.TopMesh
+			c.Jitter = 13
+			c.Faults = network.FaultConfig{Seed: 21, Rates: network.FaultRates{Drop: 0.02, Dup: 0.02, Delay: 0.05}}
+		},
 	}
 	for name, mod := range cases {
 		t.Run(name, func(t *testing.T) {
 			cfg := base
 			mod(&cfg)
 			ref := runPDES(t, cfg, 1)
+			if !cfg.IdealNetwork && ref.MeanNetQueueing == 0 {
+				t.Fatalf("contended case saw no queueing — contention path not exercised: %+v", ref)
+			}
 			for _, w := range []int{2, 8} {
 				if got := runPDES(t, cfg, w); fmt.Sprint(got) != fmt.Sprint(ref) {
 					t.Fatalf("workers %d diverges:\n got %+v\nwant %+v", w, got, ref)
@@ -110,27 +127,65 @@ func TestPDESFaultsRecover(t *testing.T) {
 	}
 }
 
-// TestPDESDegradesToSerial: a contended (non-ideal) network is not
-// lane-safe; the machine must fall back to the classic serial engine and
-// produce exactly the serial result.
+// TestPDESContendedRunsLanes: contention is lane-safe since the
+// window-barrier arbiter — a contended (non-ideal) network no longer
+// degrades to serial, and no fallback reason is reported.
+func TestPDESContendedRunsLanes(t *testing.T) {
+	for _, top := range []network.Topology{network.TopOmega, network.TopMesh} {
+		cfg := DefaultConfig(4)
+		cfg.Topology = top
+		cfg.SimWorkers = 2
+		m := NewMachine(cfg)
+		if m.Lanes() != 4 {
+			t.Fatalf("%v: contended network must run lane mode, got %d lanes", top, m.Lanes())
+		}
+		if r := m.LaneFallback(); r != "" {
+			t.Fatalf("%v: unexpected fallback reason %q", top, r)
+		}
+		res, err := m.Run(pdesProgs(cfg.Protocol, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LaneFallback != "" {
+			t.Fatalf("%v: unexpected Result.LaneFallback %q", top, res.LaneFallback)
+		}
+	}
+}
+
+// TestPDESDegradesToSerial: the bus topology is the one configuration that
+// still degrades — a single shared medium has no lane-parallel structure.
+// The degradation must not be silent (Machine.LaneFallback and
+// Result.LaneFallback carry the machine-readable reason) and, the reason
+// aside, must produce exactly the serial result.
 func TestPDESDegradesToSerial(t *testing.T) {
 	cfg := DefaultConfig(4)
-	cfg.SimWorkers = 8 // requested, but not lane-safe: contention on
+	cfg.Topology = network.TopBus
+	cfg.SimWorkers = 8 // requested, but the bus cannot use lanes
 	m := NewMachine(cfg)
 	if m.Lanes() != 0 {
-		t.Fatalf("contended network must degrade to serial, got %d lanes", m.Lanes())
+		t.Fatalf("bus topology must degrade to serial, got %d lanes", m.Lanes())
+	}
+	if r := m.LaneFallback(); r != LaneFallbackBus {
+		t.Fatalf("Machine.LaneFallback = %q, want %q", r, LaneFallbackBus)
 	}
 	res, err := m.Run(pdesProgs(cfg.Protocol, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.LaneFallback != LaneFallbackBus {
+		t.Fatalf("Result.LaneFallback = %q, want %q", res.LaneFallback, LaneFallbackBus)
+	}
 	serial := cfg
 	serial.SimWorkers = 0
 	m2 := NewMachine(serial)
+	if r := m2.LaneFallback(); r != "" {
+		t.Fatalf("serial run must not report a fallback reason, got %q", r)
+	}
 	res2, err := m2.Run(pdesProgs(serial.Protocol, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	res.LaneFallback, res2.LaneFallback = "", ""
 	if fmt.Sprint(res) != fmt.Sprint(res2) {
 		t.Fatalf("degraded run differs from serial:\n got %+v\nwant %+v", res, res2)
 	}

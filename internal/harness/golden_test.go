@@ -142,12 +142,13 @@ func TestGoldenDigests(t *testing.T) {
 }
 
 // TestPDESWorkerDigestEquality pins the parallel engine's determinism
-// contract at the harness level: on lane-safe (ideal-network) configs, the
-// fully assembled figure digests are bit-identical across SimWorkers
-// {1, 2, 8}, for every combination of jitter seed and fault seed. Note the
-// reference is workers=1, not the serial engine: the lane-keyed event
-// discipline is a different (equally valid) tie-break order, deterministic
-// in its own right.
+// contract at the harness level: the fully assembled figure digests are
+// bit-identical across SimWorkers {1, 2, 8}, for every combination of
+// network model (ideal Ω, contended Ω, contended mesh — the contended
+// models exercise the window-barrier port arbiter), jitter seed, and fault
+// seed. Note the reference is workers=1, not the serial engine: the
+// lane-keyed event discipline is a different (equally valid) tie-break
+// order, deterministic in its own right.
 func TestPDESWorkerDigestEquality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed worker sweep is a few seconds; skipped in -short")
@@ -155,38 +156,45 @@ func TestPDESWorkerDigestEquality(t *testing.T) {
 	base := goldenOptions()
 	base.Procs = []int{2, 4, 8}
 	base.Tasks = 24
-	base.IdealNetwork = true
-	for _, jitter := range []uint64{0, 7} {
-		for _, faultSeed := range []uint64{0, 42} {
-			o := base
-			o.Jitter = jitter
-			if faultSeed != 0 {
-				o.Faults = network.FaultConfig{
-					Seed:  faultSeed,
-					Rates: network.FaultRates{Drop: 0.01, Dup: 0.01, Delay: 0.03},
-				}
-			}
-			var ref map[string]string
-			for _, workers := range []int{1, 2, 8} {
-				ow := o
-				ow.SimWorkers = workers
-				got := map[string]string{}
-				for _, n := range []int{4, 6} {
-					f, err := ow.FigureByNumber(n)
-					if err != nil {
-						t.Fatalf("jitter=%d faults=%d workers=%d figure %d: %v",
-							jitter, faultSeed, workers, n, err)
+	nets := map[string]func(*Options){
+		"ideal-omega":     func(o *Options) { o.IdealNetwork = true },
+		"contended-omega": func(o *Options) {},
+		"contended-mesh":  func(o *Options) { o.Topology = network.TopMesh },
+	}
+	for netName, netMod := range nets {
+		for _, jitter := range []uint64{0, 7} {
+			for _, faultSeed := range []uint64{0, 42} {
+				o := base
+				netMod(&o)
+				o.Jitter = jitter
+				if faultSeed != 0 {
+					o.Faults = network.FaultConfig{
+						Seed:  faultSeed,
+						Rates: network.FaultRates{Drop: 0.01, Dup: 0.01, Delay: 0.03},
 					}
-					got[fmt.Sprintf("figure%d", n)] = digest(f.Table() + "\n" + f.CSV())
 				}
-				if ref == nil {
-					ref = got
-					continue
-				}
-				for name, w := range ref {
-					if got[name] != w {
-						t.Errorf("jitter=%d faults=%d workers=%d %s: digest %s, want %s — worker count leaked into results",
-							jitter, faultSeed, workers, name, got[name][:16], w[:16])
+				var ref map[string]string
+				for _, workers := range []int{1, 2, 8} {
+					ow := o
+					ow.SimWorkers = workers
+					got := map[string]string{}
+					for _, n := range []int{4, 6} {
+						f, err := ow.FigureByNumber(n)
+						if err != nil {
+							t.Fatalf("net=%s jitter=%d faults=%d workers=%d figure %d: %v",
+								netName, jitter, faultSeed, workers, n, err)
+						}
+						got[fmt.Sprintf("figure%d", n)] = digest(f.Table() + "\n" + f.CSV())
+					}
+					if ref == nil {
+						ref = got
+						continue
+					}
+					for name, w := range ref {
+						if got[name] != w {
+							t.Errorf("net=%s jitter=%d faults=%d workers=%d %s: digest %s, want %s — worker count leaked into results",
+								netName, jitter, faultSeed, workers, name, got[name][:16], w[:16])
+						}
 					}
 				}
 			}

@@ -51,14 +51,17 @@ type Options struct {
 	Faults network.FaultConfig
 	// SimWorkers sets each simulated machine's PDES worker count
 	// (core.Config.SimWorkers): 0 runs the classic serial engine, >= 1
-	// runs the time-windowed parallel engine. Lane mode requires
-	// IdealNetwork; on a contended network the machine degrades to the
-	// serial engine. The assembled figures and tables are bit-identical
-	// at every worker count >= 1.
+	// runs the time-windowed parallel engine. Contended Ω and mesh
+	// networks are lane-safe (window-barrier port arbitration); only the
+	// bus topology degrades to the serial engine. The assembled figures
+	// and tables are bit-identical at every worker count >= 1.
 	SimWorkers int
-	// IdealNetwork removes switch contention (core.Config.IdealNetwork),
-	// the lane-safety precondition for SimWorkers.
+	// IdealNetwork removes switch contention (core.Config.IdealNetwork;
+	// ablation — no longer a precondition for SimWorkers).
 	IdealNetwork bool
+	// Topology selects the interconnect model (core.Config.Topology):
+	// the paper's Ω network (default), a 2-D mesh, or the bus.
+	Topology network.Topology
 	// Jitter seeds same-cycle tie-breaking (core.Config.Jitter).
 	Jitter uint64
 	// Parallelism bounds how many simulations a sweep runs concurrently.
@@ -138,6 +141,7 @@ func (o Options) config(procs int, proto core.Protocol, cons core.Consistency) c
 	cfg.Faults = o.Faults
 	cfg.SimWorkers = o.SimWorkers
 	cfg.IdealNetwork = o.IdealNetwork
+	cfg.Topology = o.Topology
 	cfg.Jitter = o.Jitter
 	return cfg
 }

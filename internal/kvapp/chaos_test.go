@@ -38,9 +38,11 @@ func chaosCorpus() []Spec {
 
 // TestChaosSoak runs the client corpus over a misbehaving interconnect
 // (drops, duplicates, delays at the litmus soak's standard rates) across
-// >=16 fault seeds. The reliable transport must keep every run alive, the
+// >=16 fault seeds, alternating the serial engine and the PDES engine on
+// the contended network so the window-barrier arbiter soaks under faults
+// too. The reliable transport must keep every run alive, the
 // sequential-consistency oracle must hold on every single one, and the
-// sweep must actually have injected faults and recovered.
+// sweep must actually have injected faults and recovered — on both engines.
 func TestChaosSoak(t *testing.T) {
 	nSeeds := 16
 	if testing.Short() {
@@ -48,28 +50,35 @@ func TestChaosSoak(t *testing.T) {
 	}
 	seeds := litmus.ChaosSeeds(nSeeds)
 	rates := litmus.DefaultChaosRates()
-	var total metrics.FaultCounters
+	var total [2]metrics.FaultCounters // [serial, pdes]
 	runs := 0
 	for _, spec := range chaosCorpus() {
-		for _, seed := range seeds {
+		for i, seed := range seeds {
+			workers := 0
+			if i%2 == 1 {
+				workers = 2 // contended network on the lane engine
+			}
 			res, err := Run(context.Background(), spec, RunOptions{
-				Jitter: seed,
-				Faults: network.FaultConfig{Seed: seed, Rates: rates},
+				Jitter:     seed,
+				Faults:     network.FaultConfig{Seed: seed, Rates: rates},
+				SimWorkers: workers,
 			})
 			if err != nil {
-				t.Fatalf("seed %d: %v", seed, err)
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
 			}
 			if err := res.Check(); err != nil {
-				t.Fatalf("seed %d: %v", seed, err)
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
 			}
-			total.Add(res.Sim.Faults)
+			total[i%2].Add(res.Sim.Faults)
 			runs++
 		}
 	}
-	if !total.Any() {
-		t.Fatalf("chaos soak injected no faults over %d runs", runs)
-	}
-	if total.Retries == 0 {
-		t.Fatalf("chaos soak exercised no retransmissions over %d runs", runs)
+	for i, name := range []string{"serial", "pdes"} {
+		if !total[i].Any() {
+			t.Fatalf("chaos soak injected no faults on the %s engine over %d runs", name, runs)
+		}
+		if total[i].Retries == 0 {
+			t.Fatalf("chaos soak exercised no retransmissions on the %s engine over %d runs", name, runs)
+		}
 	}
 }

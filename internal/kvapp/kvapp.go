@@ -163,9 +163,11 @@ type RunOptions struct {
 	Jitter uint64
 	// Faults enables the interconnect fault plane (zero = reliable).
 	Faults network.FaultConfig
-	// SimWorkers selects the PDES lane engine (requires IdealNetwork).
+	// SimWorkers selects the PDES lane engine; the contended network is
+	// lane-safe (window-barrier port arbitration), so IdealNetwork is not
+	// required.
 	SimWorkers int
-	// IdealNetwork removes switch contention.
+	// IdealNetwork removes switch contention (ablation).
 	IdealNetwork bool
 	// Horizon overrides the livelock guard (0 = core default).
 	Horizon sim.Time

@@ -148,6 +148,52 @@ func TestSimWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSimWorkersBitIdenticalContended runs the KV service on the real
+// (contended) network under the PDES engine: results must be oracle-clean
+// and bit-identical at every worker count >= 1, and the contention must
+// actually register (nonzero queueing). The reference is workers=1 — the
+// lane-keyed event order is its own deterministic discipline, distinct from
+// the serial engine's — and workers=1 itself must report lane mode, not a
+// fallback.
+func TestSimWorkersBitIdenticalContended(t *testing.T) {
+	spec := testSpec(8, "cbl")
+	spec.Seed = 0
+	var base *Result
+	for _, workers := range []int{1, 2, 4} {
+		res, err := Run(context.Background(), spec, RunOptions{SimWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Sim.LaneFallback != "" {
+			t.Fatalf("workers=%d: unexpected lane fallback %q", workers, res.Sim.LaneFallback)
+		}
+		if base == nil {
+			if res.Sim.MeanNetQueueing == 0 {
+				t.Fatal("contended run saw no queueing — contention path not exercised")
+			}
+			base = res
+			continue
+		}
+		if res.Sim.Cycles != base.Sim.Cycles {
+			t.Fatalf("workers=%d: cycles %d != workers=1 %d", workers, res.Sim.Cycles, base.Sim.Cycles)
+		}
+		if res.Sim.MeanNetQueueing != base.Sim.MeanNetQueueing {
+			t.Fatalf("workers=%d: queueing %v != workers=1 %v",
+				workers, res.Sim.MeanNetQueueing, base.Sim.MeanNetQueueing)
+		}
+		if res.Counters != base.Counters {
+			t.Fatalf("workers=%d: counters diverged from workers=1:\n%+v\nvs\n%+v",
+				workers, res.Counters, base.Counters)
+		}
+		if res.Summary() != base.Summary() {
+			t.Fatalf("workers=%d: summary diverged from workers=1", workers)
+		}
+	}
+}
+
 // TestClosedLoop exercises the closed-loop population and the pure-CAS mix.
 func TestClosedLoop(t *testing.T) {
 	spec := testSpec(4, "cbl")

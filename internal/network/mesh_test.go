@@ -100,6 +100,125 @@ func TestMeshContentionOnSharedLink(t *testing.T) {
 	}
 }
 
+// TestMeshIdealIgnoresContention is the mesh twin of
+// TestIdealNetworkIgnoresContention: with Ideal set, simultaneous messages
+// over the same link all arrive at the uncontended Manhattan latency and no
+// queueing is recorded.
+func TestMeshIdealIgnoresContention(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16)
+	cfg.Topology = TopMesh
+	cfg.Ideal = true
+	n := New(e, cfg)
+	var times []sim.Time
+	n.Attach(3, func(any) { times = append(times, e.Now()) })
+	for i := 0; i < 16; i++ {
+		if i != 3 {
+			n.Attach(i, func(any) {})
+		}
+	}
+	for src := 0; src < 3; src++ {
+		n.Send(src, 3, 0, nil) // all route east along row 0 into node 3
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := newMesh(16)
+	for src := 0; src < 3; src++ {
+		found := false
+		for _, at := range times {
+			if at == sim.Time(m.hops(src, 3)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no delivery at node %d's uncontended latency %d (times %v)", src, m.hops(src, 3), times)
+		}
+	}
+	if n.Stats().QueueSum != 0 {
+		t.Fatal("ideal mesh recorded queueing")
+	}
+}
+
+// TestMeshContentionStats is the mesh twin of TestStatsAccounting plus the
+// queueing assertion: hops follow Manhattan distance and a saturated link
+// shows up in QueueSum / MeanQueueing.
+func TestMeshContentionStats(t *testing.T) {
+	e, n := meshRig(t, 16)
+	for i := 0; i < 16; i++ {
+		n.Attach(i, func(any) {})
+	}
+	n.Send(0, 5, 4, nil) // 2 hops
+	n.Send(1, 1, 2, nil) // local bypass
+	for src := 0; src < 4; src++ {
+		n.Send(src, 15, 0, nil) // hot spot: shared column links
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Messages != 5 || st.Local != 1 || st.Words != 4 {
+		t.Fatalf("stats = %+v, want Messages=5 Local=1 Words=4", st)
+	}
+	m := newMesh(16)
+	wantHops := uint64(m.hops(0, 5))
+	for src := 0; src < 4; src++ {
+		wantHops += uint64(m.hops(src, 15))
+	}
+	if st.Hops != wantHops {
+		t.Fatalf("Hops = %d, want %d", st.Hops, wantHops)
+	}
+	if st.QueueSum == 0 || st.MeanQueueing() <= 0 {
+		t.Fatalf("hot-spot traffic recorded no queueing: %+v", st)
+	}
+	if st.MeanLatency() <= st.MeanQueueing() {
+		t.Fatalf("latency accounting inconsistent: %+v", st)
+	}
+}
+
+// Property: on the contended mesh every message is still delivered exactly
+// once, never earlier than its Manhattan-distance uncontended latency.
+func TestQuickMeshContendedDelivery(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		e := sim.NewEngine()
+		cfg := DefaultConfig(16)
+		cfg.Topology = TopMesh
+		n := New(e, cfg)
+		m := newMesh(16)
+		floor := map[int]sim.Time{}
+		got := map[int]sim.Time{}
+		id := 0
+		for i := 0; i < 16; i++ {
+			n.Attach(i, func(p any) { got[p.(int)] = e.Now() })
+		}
+		for _, pr := range pairs {
+			src := int(pr) & 15
+			dst := int(pr>>4) & 15
+			if src == dst {
+				continue
+			}
+			n.Send(src, dst, 0, id)
+			floor[id] = e.Now() + sim.Time(m.hops(src, dst))
+			id++
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != id {
+			return false
+		}
+		for k, at := range got {
+			if at < floor[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: every message is delivered and the uncontended latency equals
 // the Manhattan distance times the hold.
 func TestQuickMeshDelivery(t *testing.T) {

@@ -17,6 +17,7 @@ package network
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"ssmp/internal/sim"
 )
@@ -107,7 +108,12 @@ func (s Stats) MeanQueueing() float64 {
 // safe for concurrent use. Built with NewParallel it runs in lane mode:
 // every node's sends execute on that node's lane engine, counters are
 // sharded by source node, and cross-node deliveries are buffered through
-// the coordinator's deterministic window merge (sim.Parallel.Post).
+// the coordinator's deterministic window merge (sim.Parallel.Post). With
+// contention on (the default), a lane never touches port-occupancy state
+// during a window: it records the send (pend) and the coordinator's
+// window-barrier arbiter replays all recorded sends in global injection-key
+// order, resolving contention exactly as the serial engine's acquire order
+// would.
 type Network struct {
 	cfg      Config
 	engine   *sim.Engine
@@ -121,7 +127,27 @@ type Network struct {
 	handlers []Handler
 	inbox    []port // per-node typed delivery endpoints
 	faults   *faultPlane
-	shards   []Stats // per-source-node counters, summed by Stats()
+	shards   []Stats      // per-source-node counters, summed by Stats()
+	pend     [][]pendSend // contended lane mode: per-source deferred sends
+	arbScr   []pendSend   // arbitration scratch (reused across windows)
+}
+
+// pendSend is one deferred contended send: everything the window-barrier
+// arbiter needs to replay the send through the port-occupancy state. The
+// injection key (at, jit, src, seq) and the fault verdict are drawn at Send
+// time on the source lane, so both are pure functions of that lane's own
+// schedule; only the port acquisition — the globally-ordered part — waits
+// for the barrier.
+type pendSend struct {
+	at      sim.Time
+	jit     uint64
+	seq     uint64
+	hold    sim.Time
+	src     int32
+	dst     int32
+	hops    int32
+	v       verdict
+	payload any
 }
 
 // New builds a network over the given engine. It panics on an invalid
@@ -134,15 +160,18 @@ func New(engine *sim.Engine, cfg Config) *Network {
 
 // NewParallel builds a network in lane mode over a PDES coordinator: node
 // i's sends run on lane i, and cross-node deliveries go through the window
-// merge. Only the ideal (contention-free) network can be decomposed this
-// way — switch-port contention is global, timestamp-ordered state with zero
-// lookahead — so NewParallel panics unless cfg.Ideal is set. It also
-// installs the model lookahead (the minimum cross-node latency) on the
-// coordinator.
+// merge. It installs the model lookahead (the minimum cross-node latency)
+// on the coordinator.
+//
+// With contention on, switch-port occupancy is global timestamp-ordered
+// state, so it is resolved at the window barrier instead of at Send time:
+// sends are recorded per lane and the coordinator's arbiter (SetArbiter)
+// replays them in global injection-key order. This is sound because
+// senders are fire-and-forget — queueing delay is observable only at the
+// destination, which the lookahead invariant keeps behind the window end —
+// and contention only ever adds to the uncontended latency that
+// MinCrossLatency bounds from below.
 func NewParallel(par *sim.Parallel, cfg Config) *Network {
-	if !cfg.Ideal {
-		panic("network: lane mode requires the ideal (contention-free) network")
-	}
 	if par.Lanes() != cfg.Nodes {
 		panic(fmt.Sprintf("network: %d lanes for %d nodes", par.Lanes(), cfg.Nodes))
 	}
@@ -151,6 +180,10 @@ func NewParallel(par *sim.Parallel, cfg Config) *Network {
 	n.laneEng = make([]*sim.Engine, cfg.Nodes)
 	for i := range n.laneEng {
 		n.laneEng[i] = par.Lane(i)
+	}
+	if !cfg.Ideal {
+		n.pend = make([][]pendSend, cfg.Nodes)
+		par.SetArbiter(n.arbitrate)
 	}
 	par.SetLookahead(n.MinCrossLatency())
 	return n
@@ -283,8 +316,23 @@ func (n *Network) Send(src, dst, words int, payload any) {
 	case n.bus != nil:
 		hops = 1 // one bus transaction
 	}
-	var done sim.Time
 	st.Hops += uint64(hops)
+	if n.pend != nil && hops > 0 {
+		// Contended lane mode: record the send and let the window-barrier
+		// arbiter replay it through the port state in global key order.
+		// Everything drawn here — fault verdict, injection key — comes from
+		// lane-local streams, in the same per-link order the serial engine
+		// would draw them. A zero-hop send (DanceHall same-node) acquires
+		// nothing and stays on the immediate path below.
+		q := pendSend{at: now, hold: hold, src: int32(src), dst: int32(dst), hops: int32(hops), payload: payload}
+		if n.faults != nil {
+			q.v = n.faults.judge(src, dst)
+		}
+		q.jit, q.seq = n.par.DrawKey(int32(src))
+		n.pend[src] = append(n.pend[src], q)
+		return
+	}
+	var done sim.Time
 	switch {
 	case n.cfg.Ideal:
 		done = now + hold*sim.Time(hops)
@@ -323,6 +371,85 @@ func (n *Network) sendPath(src, dst int, now, hold sim.Time) sim.Time {
 		t = n.ports[i][line].Acquire(t, hold)
 	}
 	return t
+}
+
+// arbitrate is the coordinator's window-barrier hook in contended lane
+// mode. It replays every send the lanes recorded during the window through
+// the port-occupancy state in global injection-key order (time, jitter,
+// source lane, source sequence) — the same order the serial engine's event
+// loop would have acquired the ports in — producing deterministic delivery
+// times and queueing stats regardless of worker count. Window start times
+// are monotone (every recorded send lies in the window just executed, and
+// the next GVT is at or beyond this window's end), so consecutive windows'
+// replays are globally time-ordered and the Resource free-times advance
+// exactly as they do serially. Deliveries are posted with the key drawn at
+// Send time and flow into the same window's merge.
+func (n *Network) arbitrate() {
+	m := n.arbScr[:0]
+	for src := range n.pend {
+		m = append(m, n.pend[src]...)
+		n.pend[src] = n.pend[src][:0]
+	}
+	if len(m) == 0 {
+		n.arbScr = m
+		return
+	}
+	sort.Slice(m, func(i, j int) bool {
+		a, b := &m[i], &m[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.jit != b.jit {
+			return a.jit < b.jit
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range m {
+		q := &m[i]
+		src, dst := int(q.src), int(q.dst)
+		var done sim.Time
+		switch {
+		case n.mesh != nil:
+			done = n.mesh.traverse(src, dst, q.at, q.hold)
+		case n.bus != nil:
+			done = n.bus.Acquire(q.at, q.hold)
+		default:
+			done = n.sendPath(src, dst, q.at, q.hold)
+		}
+		st := &n.shards[src]
+		lat := done - q.at
+		st.LatencySum += lat
+		uncontended := q.hold * sim.Time(q.hops)
+		if lat > uncontended {
+			st.QueueSum += lat - uncontended
+		}
+		// The fault verdict was drawn at Send time; a dropped message still
+		// occupied its ports and counted toward latency, as it does on the
+		// serial path.
+		if !q.v.drop {
+			done += q.v.extra
+			if q.v.dup {
+				n.postArbitrated(q, done+q.v.dupAt)
+			}
+			n.postArbitrated(q, done)
+		}
+		q.payload = nil
+	}
+	n.arbScr = m[:0]
+}
+
+// postArbitrated posts one arbitrated delivery through the coordinator,
+// reusing the injection key drawn at Send time (a trailing duplicate shares
+// the key but lands at a strictly later time, so the pair still orders
+// deterministically).
+func (n *Network) postArbitrated(q *pendSend, t sim.Time) {
+	if n.handlers[q.dst] == nil {
+		panic(fmt.Sprintf("network: no handler attached at node %d", q.dst))
+	}
+	n.par.PostKeyed(q.src, q.dst, t, q.jit, q.seq, &n.inbox[q.dst], q.payload)
 }
 
 // port is a per-node delivery endpoint implementing sim.Receiver, so message

@@ -59,10 +59,10 @@ type KVSpec struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Jitter seeds schedule jitter (core.Config.Jitter).
 	Jitter uint64 `json:"jitter"`
-	// SimWorkers selects the PDES engine; requires ideal_network (same
-	// contract as SimSpec).
+	// SimWorkers selects the PDES engine (same contract as SimSpec: the
+	// contended network is lane-safe, ideal_network not required).
 	SimWorkers int `json:"sim_workers,omitempty"`
-	// IdealNetwork removes switch contention.
+	// IdealNetwork removes switch contention (ablation).
 	IdealNetwork bool `json:"ideal_network"`
 	// Faults optionally enables the interconnect fault plane.
 	Faults *FaultSpec `json:"faults,omitempty"`
@@ -133,9 +133,6 @@ func (k *KVSpec) Normalize() error {
 	if k.SimWorkers < 0 || k.SimWorkers > maxSpecProcs {
 		return fmt.Errorf("sim_workers must be in [0,%d], got %d", maxSpecProcs, k.SimWorkers)
 	}
-	if k.SimWorkers > 0 && !k.IdealNetwork {
-		return fmt.Errorf("sim_workers requires ideal_network (the parallel engine's lane-safety precondition)")
-	}
 	if k.Faults != nil {
 		fc := k.Faults.config()
 		if err := fc.Validate(); err != nil {
@@ -197,6 +194,9 @@ type KVResult struct {
 	// Faults reports fault injection and recovery (present only when the
 	// spec enabled the fault plane).
 	Faults *metrics.FaultCounters `json:"faults,omitempty"`
+	// LaneFallback is the machine-readable reason the run degraded to the
+	// serial engine despite sim_workers > 0 (same contract as SimResult).
+	LaneFallback string `json:"lane_fallback_reason,omitempty"`
 }
 
 // run executes the spec. An oracle violation is an error: a run that broke
@@ -216,14 +216,15 @@ func (k *KVSpec) run(ctx context.Context) (*KVResult, error) {
 	}
 	lat := res.All
 	out := &KVResult{
-		Cycles:     uint64(res.Sim.Cycles),
-		Counters:   res.Counters,
-		P50:        res.P50(),
-		P99:        res.P99(),
-		Mean:       res.Mean(),
-		Throughput: res.ThroughputOpsPerKCycle(),
-		Latency:    &lat,
-		Oracle:     res.Oracle,
+		Cycles:       uint64(res.Sim.Cycles),
+		Counters:     res.Counters,
+		P50:          res.P50(),
+		P99:          res.P99(),
+		Mean:         res.Mean(),
+		Throughput:   res.ThroughputOpsPerKCycle(),
+		Latency:      &lat,
+		Oracle:       res.Oracle,
+		LaneFallback: res.Sim.LaneFallback,
 	}
 	if k.Faults != nil {
 		fc := res.Sim.Faults

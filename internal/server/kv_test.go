@@ -87,7 +87,7 @@ func TestKVSpecValidation(t *testing.T) {
 		{"procs", `{"procs":3}`, "power of two"},
 		{"lock", `{"lock":"nope"}`, "unknown lock"},
 		{"mix", `{"get_frac":0.9,"put_frac":0.3}`, "mix"},
-		{"workers", `{"sim_workers":2}`, "ideal_network"},
+		{"workers", `{"sim_workers":-1}`, "sim_workers"},
 		{"inert faults", `{"faults":{"seed":0}}`, "inert"},
 		{"unknown field", `{"procz":4}`, "unknown field"},
 		{"ops cap", `{"ops":100000}`, "ops"},

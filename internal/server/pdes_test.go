@@ -10,9 +10,8 @@ import (
 
 func TestSimWorkersSpecValidation(t *testing.T) {
 	bad := []SimSpec{
-		{SimWorkers: -1, IdealNetwork: true},
-		{SimWorkers: maxSpecProcs + 1, IdealNetwork: true},
-		{SimWorkers: 2}, // lane mode without ideal_network
+		{SimWorkers: -1},
+		{SimWorkers: maxSpecProcs + 1},
 	}
 	for i, s := range bad {
 		s := s
@@ -20,23 +19,28 @@ func TestSimWorkersSpecValidation(t *testing.T) {
 			t.Errorf("spec %d (%+v) should not validate", i, s)
 		}
 	}
-	ok := SimSpec{SimWorkers: 8, IdealNetwork: true}
-	if err := ok.Normalize(); err != nil {
-		t.Fatalf("ideal-network lane spec should validate: %v", err)
+	// Lane mode no longer requires the ideal network: the window-barrier
+	// arbiter makes the contended models lane-safe.
+	for _, ok := range []SimSpec{
+		{SimWorkers: 8, IdealNetwork: true},
+		{SimWorkers: 8},
+	} {
+		if err := ok.Normalize(); err != nil {
+			t.Fatalf("lane spec %+v should validate: %v", ok, err)
+		}
 	}
 }
 
-// TestSimWorkersEndToEnd: the daemon accepts lane-mode specs, rejects
-// non-lane-safe ones with a client error, and returns bit-identical results
-// at every worker count (under distinct cache keys: the worker count is
-// part of the spec).
+// TestSimWorkersEndToEnd: the daemon accepts lane-mode specs — contended
+// networks included — and returns bit-identical results at every worker
+// count (under distinct cache keys: the worker count is part of the spec).
 func TestSimWorkersEndToEnd(t *testing.T) {
 	s, ts := testServer(t, Config{Workers: 2})
 	_ = s
 
 	spec := func(workers int) string {
 		return fmt.Sprintf(`{"procs":4,"workload":"queue","grain":32,"tasks":8,"seed":7,
-			"ideal_network":true,"sim_workers":%d}`, workers)
+			"sim_workers":%d}`, workers)
 	}
 	type reply struct {
 		Key    string          `json:"key"`
@@ -65,13 +69,18 @@ func TestSimWorkersEndToEnd(t *testing.T) {
 	if len(keys) != 3 {
 		t.Fatalf("expected 3 distinct cache keys, got %d", len(keys))
 	}
-
-	resp, body := postJSON(t, ts.URL+"/v1/sim",
-		`{"procs":4,"workload":"queue","tasks":8,"sim_workers":2}`)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("contended lane spec: want 400, got %d: %s", resp.StatusCode, body)
+	if strings.Contains(string(ref.Result), "lane_fallback_reason") {
+		t.Fatalf("contended lane run should not degrade: %s", ref.Result)
 	}
-	if !strings.Contains(string(body), "ideal_network") {
-		t.Fatalf("rejection should name the precondition: %s", body)
+
+	// The bus is a single shared medium — zero lane parallelism — so the
+	// machine degrades to the serial engine and says why.
+	resp, body := postJSON(t, ts.URL+"/v1/sim",
+		`{"procs":4,"workload":"queue","tasks":8,"topology":"bus","sim_workers":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bus lane spec: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"lane_fallback_reason": "bus_topology"`) {
+		t.Fatalf("bus lane run should report its fallback reason: %s", body)
 	}
 }

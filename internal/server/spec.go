@@ -51,9 +51,10 @@ type SimSpec struct {
 	Jitter uint64 `json:"jitter"`
 	// SimWorkers runs the simulation on the time-windowed parallel engine
 	// with this many workers (core.Config.SimWorkers); 0 is the classic
-	// serial engine. Requires ideal_network — that is the engine's
-	// lane-safety precondition, and silently degrading would give two
-	// spec spellings for one serial result. Results are bit-identical for
+	// serial engine. The contended network is lane-safe (window-barrier
+	// port arbitration), so ideal_network is not required; a spec that
+	// still cannot use lanes degrades to the serial engine and reports
+	// lane_fallback_reason in the result. Results are bit-identical for
 	// every value >= 1. omitempty keeps serial specs' cache keys
 	// unchanged.
 	SimWorkers int `json:"sim_workers,omitempty"`
@@ -187,9 +188,6 @@ func (s *SimSpec) Normalize() error {
 	if s.SimWorkers < 0 || s.SimWorkers > maxSpecProcs {
 		return fmt.Errorf("sim_workers must be in [0,%d], got %d", maxSpecProcs, s.SimWorkers)
 	}
-	if s.SimWorkers > 0 && !s.IdealNetwork {
-		return fmt.Errorf("sim_workers requires ideal_network (the parallel engine's lane-safety precondition)")
-	}
 	if s.Faults != nil {
 		if s.Faults.DelayMax < 0 {
 			return fmt.Errorf("faults.delay_max must be >= 0, got %d", s.Faults.DelayMax)
@@ -259,6 +257,10 @@ type SimResult struct {
 	// reference classified local (served by the issuing node) or remote
 	// (crossed the interconnect), plus writebacks, summed over processors.
 	RMR *metrics.RMRCounters `json:"rmr,omitempty"`
+	// LaneFallback is the machine-readable reason the run degraded to the
+	// serial engine despite sim_workers > 0 (e.g. "bus_topology"); absent
+	// when lane mode ran or was not requested.
+	LaneFallback string `json:"lane_fallback_reason,omitempty"`
 }
 
 // run executes the spec on a fresh machine. The returned collector is the
@@ -294,6 +296,7 @@ func (s *SimSpec) run(ctx context.Context) (*SimResult, *metrics.Collector, erro
 		MeanNetQueueing: res.MeanNetQueueing,
 		MeanUtilization: res.MeanUtilization,
 		ByKind:          m.Messages(),
+		LaneFallback:    res.LaneFallback,
 	}
 	if s.Faults != nil {
 		fc := res.Faults

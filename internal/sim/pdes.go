@@ -18,6 +18,13 @@
 //     that lane's own schedule — no interleaving of lane execution, worker
 //     count, or merge order can change it.
 //
+// Models with globally-ordered shared state that lanes must not touch during
+// a window — contended network ports, for this machine — hook the barrier
+// with SetArbiter: lanes record their intent during the window (drawing the
+// same injection key via DrawKey), and the arbiter replays the recorded work
+// in global key order on the coordinator, posting the resulting deliveries
+// with PostKeyed before the merge. See network.NewParallel.
+//
 // The result is a simulation whose outcome is bit-identical at any worker
 // count: workers only size the thread pool that drains the per-window lane
 // list; the partition (one lane per node) and every ordering key are fixed
@@ -57,6 +64,7 @@ type Parallel struct {
 	clock  Time     // max event time fired so far (GVT on ErrHorizon)
 	wend   Time     // current window end (exclusive), read by lanes in Post
 	inter  func() error
+	arb    func()    // window-barrier arbitration hook (SetArbiter)
 	active []*Engine // lanes with work in the current window
 	scr    []post    // merge scratch
 	nt     []Time    // cached per-lane next-event time (see Run)
@@ -187,20 +195,51 @@ func (p *Parallel) Pending() int {
 // installed lookahead, and the destination lane may already have executed
 // past at.
 func (p *Parallel) Post(src, dst int32, at Time, rcv Receiver, payload any) {
+	jit, seq := p.DrawKey(src)
+	p.PostKeyed(src, dst, at, jit, seq, rcv, payload)
+}
+
+// DrawKey draws a cross-lane ordering key — jitter draw and sequence
+// number — from lane src's own schedule state, exactly as Post does. It
+// must be called from lane src while that lane is executing a window. Use
+// it when the delivery time is not yet known (it will be fixed by the
+// barrier arbiter) but the injection order must be pinned at send time;
+// pass the key to PostKeyed once the time is resolved.
+func (p *Parallel) DrawKey(src int32) (jit, seq uint64) {
+	e := p.lanes[src]
+	if e.jitterOn {
+		jit = e.nextJit()
+	}
+	seq = e.seq
+	e.seq++
+	return jit, seq
+}
+
+// PostKeyed buffers a cross-lane delivery whose ordering key was already
+// drawn with DrawKey. Unlike Post it may also be called from the barrier
+// arbiter (on the coordinator, between lane execution and the merge) —
+// the posts it appends flow into the same window's merge. The lookahead
+// rule is unchanged: at must lie at or beyond the current window end.
+func (p *Parallel) PostKeyed(src, dst int32, at Time, jit, seq uint64, rcv Receiver, payload any) {
 	if rcv == nil {
 		panic("sim: nil receiver")
 	}
 	if at < p.wend {
 		panic(fmt.Sprintf("sim: cross-lane post at %d inside window ending %d (lookahead violation)", at, p.wend))
 	}
-	e := p.lanes[src]
-	q := post{at: at, seq: e.seq, src: src, dst: dst, rcv: rcv, payload: payload}
-	if e.jitterOn {
-		q.jit = e.nextJit()
-	}
-	e.seq++
-	p.out[src] = append(p.out[src], q)
+	p.out[src] = append(p.out[src], post{at: at, jit: jit, seq: seq, src: src, dst: dst, rcv: rcv, payload: payload})
 }
+
+// SetArbiter installs a hook the coordinator calls once per window at the
+// barrier — after every lane has finished executing the window (and any
+// lane panic has been re-raised), before the outbox merge. The hook runs
+// single-threaded on the coordinator goroutine; it is where a model
+// resolves globally-ordered shared state that lanes recorded intent
+// against during the window (e.g. contended switch-port occupancy),
+// posting the resulting deliveries with PostKeyed so they join the same
+// merge. The hook must be deterministic: it may depend only on the
+// recorded intents and its own state, never on wall-clock interleaving.
+func (p *Parallel) SetArbiter(fn func()) { p.arb = fn }
 
 // Run executes the window loop with the given number of worker threads
 // until every lane's queue drains, any lane calls Stop, the horizon is
@@ -302,6 +341,9 @@ func (p *Parallel) Run(workers int) error {
 			if v := p.panics[i]; v != nil {
 				panic(v)
 			}
+		}
+		if p.arb != nil {
+			p.arb()
 		}
 		stopped := false
 		for _, e := range p.lanes {
