@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke bench-sync bench-pdes bench-kv pdes litmus synczoo chaos kv cover serve clean
+.PHONY: build test race vet bench bench-json bench-smoke bench-sync bench-pdes bench-kv bench-litmus pdes litmus farm farm-grow synczoo chaos kv cover serve clean
 
 # Extra flags for cmd/benchjson, e.g. BENCHJSON_FLAGS=-baseline=old.json
 BENCHJSON_FLAGS ?=
@@ -71,6 +71,17 @@ bench-kv:
 			-out results/BENCH_8.json -latest results/BENCH_latest.json
 	@cat results/BENCH_8.json
 
+# Symmetry-reduction record: the litmus corpus enumerated with the
+# symmetry quotient on vs off, with the within-report speedup annotated
+# against the sym=off variant (see cmd/benchjson -ratio-base). Written to
+# results/BENCH_10.json. The states metric is the headline: the quotient
+# must explore >= 1.5x fewer states at identical verdicts.
+bench-litmus:
+	$(GO) test '-bench=LitmusCorpus' -benchmem -benchtime=2s -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -ratio-base=sym=off \
+			-out results/BENCH_10.json -latest results/BENCH_latest.json
+	@cat results/BENCH_10.json
+
 # PDES determinism gate: the parallel engine's unit tests, the window-merge
 # port-arbitration parity suite, and every workers=1-vs-N equality property
 # (engine, network, workload, harness, daemon) under the race detector. The
@@ -96,6 +107,22 @@ litmus:
 	$(GO) test -race -run 'TestCorpus|TestFuzz|TestShrink' ./internal/litmus/
 	$(GO) run ./cmd/ssmplitmus fuzz -budget 30s
 
+# Farm-corpus gate: the committed generated corpus (300+ canonical tests,
+# every §2 axiom family covered) replayed end to end under the race
+# detector — canonical-form fixpoint, recomputed coverage vectors, pinned
+# allowed sets, simulator cross-validation, and engine-configuration
+# agreement (POR/symmetry/worker-count) on every test.
+farm:
+	$(GO) test -race -run 'TestGeneratedCorpusReplay|TestDifferentialGenerated|TestFarm|TestCanonicalize' \
+		./internal/litmus/
+
+# Regenerate the committed farm corpus from scratch (deterministic: the
+# output is a pure function of the campaign parameters, so this is a
+# no-op unless the generator, model, or canonicalization changed).
+farm-grow:
+	$(GO) run ./cmd/ssmplitmus farm -n 7000 -rng 1 -report \
+		-out internal/litmus/testdata/generated
+
 # Chaos soak: fault-plane and reliable-transport unit tests under the race
 # detector, then the litmus corpus swept across fault seeds — each run's
 # fabric drops, duplicates and delays messages (seeded, deterministic) and
@@ -115,9 +142,20 @@ kv:
 	$(GO) run ./cmd/ssmpkv soak -seeds 4
 	$(GO) test '-bench=KVStore/lock=(cbl|mcs)/procs=4$$' -benchtime=1x -run=^$$ .
 
-# Per-package statement coverage.
+# Per-package statement coverage, with a hard floor on the checker
+# packages the litmus farm rests on (override: COVER_FLOOR=90 make cover).
+COVER_FLOOR ?= 85
 cover:
-	$(GO) test -cover ./...
+	@out=$$($(GO) test -cover ./...) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | awk -v floor=$(COVER_FLOOR) ' \
+		$$2 ~ /^ssmp\/internal\/(bccheck|litmus)$$/ { \
+			for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { \
+				p = $$i; sub(/%/, "", p); \
+				if (p + 0 < floor) { printf "coverage gate: %s at %s%% is below the %s%% floor\n", $$2, p, floor; fail = 1 } \
+			} \
+		} \
+		END { exit fail }'
 
 serve: build
 	$(GO) run ./cmd/ssmpd -addr :8080

@@ -12,6 +12,7 @@
 //	ssmplitmus show name
 //	ssmplitmus explain [-seeds 64] name outcome
 //	ssmplitmus fuzz [-budget 30s | -n 100] [-rng 1] [-seeds 16]
+//	ssmplitmus farm [-budget 2m | -n 4000] [-rng 1] [-out dir] [-report]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +36,7 @@ import (
 // explain, and fuzz.
 func tuningFlags(fs *flag.FlagSet) func() (bccheck.Tuning, error) {
 	por := fs.String("por", "on", "partial-order reduction: on or off")
+	sym := fs.String("sym", "on", "symmetry reduction: on or off")
 	workers := fs.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
 	return func() (bccheck.Tuning, error) {
 		switch *por {
@@ -41,7 +44,12 @@ func tuningFlags(fs *flag.FlagSet) func() (bccheck.Tuning, error) {
 		default:
 			return bccheck.Tuning{}, fmt.Errorf("-por must be on or off, got %q", *por)
 		}
-		return bccheck.Tuning{DisablePOR: *por == "off", Workers: *workers}, nil
+		switch *sym {
+		case "on", "off":
+		default:
+			return bccheck.Tuning{}, fmt.Errorf("-sym must be on or off, got %q", *sym)
+		}
+		return bccheck.Tuning{DisablePOR: *por == "off", DisableSymmetry: *sym == "off", Workers: *workers}, nil
 	}
 }
 
@@ -61,6 +69,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "farm":
+		err = cmdFarm(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -82,8 +92,10 @@ func usage() {
                                                chaos sweep: same check under fault injection
   ssmplitmus show name                         print a corpus test's JSON
   ssmplitmus explain [-seeds N] name outcome   show the execution graph of a run producing outcome
-  ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N] [-por on|off] [-workers N]
-                                               fuzz random programs against the model`)
+  ssmplitmus fuzz [-budget D | -n N] [-rng S] [-seeds N] [-por on|off] [-sym on|off] [-workers N]
+                                               fuzz random programs against the model
+  ssmplitmus farm [-budget D | -n N] [-rng S] [-seeds N] [-farm-workers N] [-out DIR] [-report]
+                                               grow a deduplicated axiom-tagged corpus`)
 	os.Exit(2)
 }
 
@@ -94,6 +106,13 @@ func cmdList() error {
 	}
 	for _, t := range tests {
 		fmt.Printf("%-14s %d procs  %s\n", t.Name, len(t.Procs), t.Doc)
+	}
+	gen, err := litmus.Generated()
+	if err != nil {
+		return err
+	}
+	if len(gen) > 0 {
+		fmt.Printf("plus %d farm-generated tests (ssmplitmus show g... to inspect)\n", len(gen))
 	}
 	return nil
 }
@@ -272,4 +291,101 @@ func cmdFuzz(args []string) error {
 		fmt.Print(msg)
 	}
 	return fmt.Errorf("fuzzing found a violation")
+}
+
+func cmdFarm(args []string) error {
+	fs := flag.NewFlagSet("farm", flag.ExitOnError)
+	budget := fs.Duration("budget", 0, "wall-clock budget (overrides -n)")
+	count := fs.Int("n", 4000, "candidate count when no budget is set")
+	rng := fs.Uint64("rng", 1, "campaign seed")
+	seeds := fs.Int("seeds", 16, "jitter seeds per candidate")
+	farmWorkers := fs.Int("farm-workers", 8, "concurrent candidate pipelines")
+	out := fs.String("out", "", "directory to (re)write the generated corpus into")
+	report := fs.Bool("report", false, "print the axiom-coverage report over hand-written + accepted tests")
+	tuning := tuningFlags(fs)
+	_ = fs.Parse(args)
+	tune, err := tuning()
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	st, tests, err := litmus.Farm(ctx, litmus.FarmOptions{
+		Rng:     *rng,
+		Count:   *count,
+		Budget:  *budget,
+		Workers: *farmWorkers,
+		Seeds:   litmus.Seeds(*seeds),
+		Tuning:  tune,
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if st.Failure != nil {
+		f := st.Failure
+		fmt.Println("\ncross-validation VIOLATION — simulator escaped the axiomatic allowed set")
+		fmt.Println("minimized reproducer:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f.Shrunk); err != nil {
+			return err
+		}
+		return fmt.Errorf("farm found a violation")
+	}
+	fmt.Println(st.Summary())
+	if *report {
+		if err := coverageReport(os.Stdout, tests); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		if err := litmus.WriteGeneratedCorpus(*out, tests); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d tests to %s\n", len(tests), *out)
+	}
+	return nil
+}
+
+// coverageReport prints the per-axiom coverage table over the hand-written
+// corpus (vectors recomputed) plus the given generated tests (stored tags).
+func coverageReport(w io.Writer, gen []*litmus.Test) error {
+	corpus, err := litmus.Corpus()
+	if err != nil {
+		return err
+	}
+	counts := map[string]int{}
+	for _, t := range corpus {
+		cov, err := litmus.CoverageVector(t)
+		if err != nil {
+			return err
+		}
+		for _, ax := range cov {
+			counts[ax]++
+		}
+	}
+	for _, t := range gen {
+		for _, ax := range t.Coverage {
+			counts[ax]++
+		}
+	}
+	fmt.Fprintf(w, "axiom coverage over %d hand-written + %d generated tests:\n", len(corpus), len(gen))
+	missing := 0
+	for _, ax := range litmus.Axioms {
+		mark := "ok"
+		if counts[ax] == 0 {
+			mark = "MISSING"
+			missing++
+		}
+		fmt.Fprintf(w, "  %-10s %4d tests  %s\n", ax, counts[ax], mark)
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d axiom families have no covering test", missing)
+	}
+	return nil
 }

@@ -37,8 +37,13 @@ func regionAddr(phase, proc, b int) ssmp.Addr {
 	return base + ssmp.Addr((region*regionBlocks+b)*4)
 }
 
-func run(managed bool) (*core.Machine, ssmp.Result) {
+// run executes the phased computation. jitter seeds same-cycle
+// tie-breaking (0 = canonical order) and simWorkers > 0 selects the
+// parallel simulation engine.
+func run(managed bool, jitter uint64, simWorkers int) (*core.Machine, ssmp.Result, error) {
 	cfg := ssmp.DefaultConfig(nodes)
+	cfg.Jitter = jitter
+	cfg.SimWorkers = simWorkers
 	m := core.NewMachine(cfg)
 	progs := make([]ssmp.Program, nodes)
 	for i := 0; i < nodes; i++ {
@@ -67,15 +72,18 @@ func run(managed bool) (*core.Machine, ssmp.Result) {
 		}
 	}
 	res, err := m.Run(progs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return m, res
+	return m, res, err
 }
 
 func main() {
-	mNaive, rNaive := run(false)
-	mManaged, rManaged := run(true)
+	mNaive, rNaive, err := run(false, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mManaged, rManaged, err := run(true, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	propNaive := mNaive.Messages().Kind(msg.UpdateProp)
 	propManaged := mManaged.Messages().Kind(msg.UpdateProp)

@@ -17,34 +17,46 @@ import (
 	"ssmp/internal/msg"
 )
 
+// scheme names one Table 2 machine configuration.
+type scheme struct {
+	name       string
+	readUpdate bool
+	colocate   bool
+}
+
+var schemes = []scheme{
+	{"read-update", true, true},
+	{"inv-I (colocated)", false, true},
+	{"inv-II (separate)", false, false},
+}
+
+// run solves the system under one scheme. jitter seeds same-cycle
+// tie-breaking (0 = canonical order) and simWorkers > 0 selects the
+// parallel simulation engine.
+func run(s scheme, procs, iters int, jitter uint64, simWorkers int) (*core.Machine, *ssmp.LinSolver, ssmp.Result, error) {
+	cfg := ssmp.DefaultConfig(procs)
+	if !s.readUpdate {
+		cfg.Protocol = ssmp.ProtoWBI
+	}
+	cfg.Jitter = jitter
+	cfg.SimWorkers = simWorkers
+	m := core.NewMachine(cfg)
+	ls := &ssmp.LinSolver{N: procs, Iters: iters, Colocate: s.colocate, ReadUpdate: s.readUpdate}
+	res, err := m.Run(ls.Programs(m.Geometry()))
+	return m, ls, res, err
+}
+
 func main() {
 	procs := flag.Int("procs", 16, "processors / equations (power of two)")
 	iters := flag.Int("iters", 30, "Jacobi iterations")
 	flag.Parse()
-
-	type scheme struct {
-		name       string
-		readUpdate bool
-		colocate   bool
-	}
-	schemes := []scheme{
-		{"read-update", true, true},
-		{"inv-I (colocated)", false, true},
-		{"inv-II (separate)", false, false},
-	}
 
 	fmt.Printf("solving %dx%d system, %d iterations\n\n", *procs, *procs, *iters)
 	fmt.Printf("%-20s %10s %10s %10s %10s %10s %12s\n",
 		"scheme", "cycles", "C_B", "C_W", "C_I", "C_R", "residual")
 
 	for _, s := range schemes {
-		cfg := ssmp.DefaultConfig(*procs)
-		if !s.readUpdate {
-			cfg.Protocol = ssmp.ProtoWBI
-		}
-		m := core.NewMachine(cfg)
-		ls := &ssmp.LinSolver{N: *procs, Iters: *iters, Colocate: s.colocate, ReadUpdate: s.readUpdate}
-		res, err := m.Run(ls.Programs(m.Geometry()))
+		m, ls, res, err := run(s, *procs, *iters, 0, 0)
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}

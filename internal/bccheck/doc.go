@@ -60,7 +60,7 @@
 //     program-ordered plain READs of a word cannot observe an older value
 //     after a newer one for a single globally performed write (CoRR holds
 //     per word within a copy).
-// 10. Barrier. A BARRIER episode releases no participant until every
+//  10. Barrier. A BARRIER episode releases no participant until every
 //     participant has arrived — and, by axiom 4, has drained its write
 //     buffer. All pre-barrier global writes are visible to all post-barrier
 //     READ-GLOBALs (but NOT necessarily to post-barrier plain READs of
@@ -103,4 +103,22 @@
 // canonical key, so outcome set, States, and Pruned are bit-identical at
 // any worker count. Witness mode forces the serial canonical
 // depth-first engine, which also defines the canonical deadlock report.
+//
+// Symmetry reduction (sym.go) quotients the state space by the program's
+// automorphism group: processor/block/barrier renamings under which the
+// compiled system is invariant, computed once at compile time. Each
+// successor is replaced by its orbit representative (least encoding, via
+// a fused permuted encoder that never materializes non-winning orbit
+// members), terminal outcomes are closed under the group again, and
+// deadlock/state-limit labels are mapped back through the accumulated
+// permutation — so Result keys and error reports are exactly the
+// symmetry-off ones at a fraction of the states. Tuning.DisableSymmetry
+// turns the quotient off; witness mode and model mutations disable it
+// automatically.
+//
+// Model mutations (mutate.go) are single-axiom ablations used by
+// internal/litmus to compute axiom-coverage vectors: a mutated model
+// explores the full graph (both reductions are proved against the real
+// semantics only) and a test covers an axiom iff its outcome-key set
+// changes under that axiom's mutation.
 package bccheck

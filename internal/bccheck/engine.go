@@ -50,10 +50,15 @@ func (e *engine) limitError() error {
 	}
 }
 
-func (e *engine) deadlockError(path []sdesc) error {
+// deadlockError renders the serial path to a stuck state. Under symmetry
+// reduction the path's states live in canonicalized numbering; each label
+// is mapped back through the cumulative permutation recorded when it was
+// emitted, so reports always read in the program's own numbering.
+func (e *engine) deadlockError(path []sdesc, views []permView) error {
 	labels := make([]string, len(path))
 	for i := range path {
-		labels[i] = e.c.render(&path[i])
+		d := e.c.origDesc(path[i], views[i])
+		labels[i] = e.c.render(&d)
 	}
 	return fmt.Errorf("bccheck: deadlock after: %s", strings.Join(labels, "; "))
 }
@@ -67,6 +72,12 @@ func (e *engine) deadlockError(path []sdesc) error {
 func (e *engine) canonicalPrefix(n int) []string {
 	w := newWorker(e)
 	s := e.c.initial(w)
+	cv := identView()
+	if len(e.c.syms) > 0 {
+		var gi int
+		s, gi = w.canonicalize(s)
+		cv = e.c.composeView(gi, cv)
+	}
 	var out []string
 	for len(out) < n {
 		var first *mstate
@@ -81,9 +92,15 @@ func (e *engine) canonicalPrefix(n int) []string {
 		if first == nil {
 			break
 		}
-		out = append(out, e.c.render(&fd))
+		od := e.c.origDesc(fd, cv)
+		out = append(out, e.c.render(&od))
 		w.put(s)
 		s = first
+		if len(e.c.syms) > 0 {
+			var gi int
+			s, gi = w.canonicalize(s)
+			cv = e.c.composeView(gi, cv)
+		}
 	}
 	w.put(s)
 	return out
@@ -95,11 +112,20 @@ func (e *engine) canonicalPrefix(n int) []string {
 func (e *engine) runSerial() (map[string]*Outcome, error) {
 	w := newWorker(e)
 	s0 := e.c.initial(w)
-	e.vis.add(w.hash(s0))
+	cv0 := identView()
+	if len(e.c.syms) > 0 {
+		var gi int
+		s0, gi = w.canonicalize(s0)
+		cv0 = e.c.composeView(gi, cv0)
+		e.vis.add(hash128(w.encBest))
+	} else {
+		e.vis.add(w.hash(s0))
+	}
 	e.states.Store(1)
 	var path []sdesc
-	var dfs func(s *mstate) error
-	dfs = func(s *mstate) error {
+	var views []permView
+	var dfs func(s *mstate, cv permView) error
+	dfs = func(s *mstate, cv permView) error {
 		emitted := 0
 		var ferr error
 		e.expandReduced(w, s, func(d sdesc, ns *mstate) {
@@ -108,32 +134,35 @@ func (e *engine) runSerial() (map[string]*Outcome, error) {
 				w.put(ns)
 				return
 			}
-			if !e.vis.add(w.hash(ns)) {
-				w.put(ns)
+			nc, gi, fresh := w.canonAdd(ns)
+			if !fresh {
+				w.put(nc)
 				return
 			}
 			if e.states.Add(1) > e.limit {
-				w.put(ns)
+				w.put(nc)
 				ferr = e.limitError()
 				return
 			}
 			path = append(path, d)
-			ferr = dfs(ns)
+			views = append(views, cv)
+			ferr = dfs(nc, e.c.composeView(gi, cv))
 			path = path[:len(path)-1]
-			w.put(ns)
+			views = views[:len(views)-1]
+			w.put(nc)
 		})
 		if ferr != nil {
 			return ferr
 		}
 		if emitted == 0 {
 			if !e.c.quiescent(s) {
-				return e.deadlockError(path)
+				return e.deadlockError(path, views)
 			}
 			w.record(s, path)
 		}
 		return nil
 	}
-	err := dfs(s0)
+	err := dfs(s0, cv0)
 	w.put(s0)
 	if err != nil {
 		return nil, err
@@ -218,7 +247,7 @@ func (e *engine) runParallel(nw int) (map[string]*Outcome, error) {
 		ws[i] = &pworker{worker: worker{e: e, outcomes: make(map[string]*Outcome)}}
 	}
 	s0 := e.c.initial(&ws[0].worker)
-	e.vis.add(ws[0].hash(s0))
+	s0, _, _ = ws[0].canonAdd(s0)
 	e.states.Store(1)
 	e.pending.Store(1)
 	ws[0].pushBack(item{s: s0})
@@ -282,17 +311,18 @@ func (e *engine) expandItem(w *pworker, s *mstate) {
 			w.put(ns)
 			return
 		}
-		if !e.vis.add(w.hash(ns)) {
-			w.put(ns)
+		nc, _, fresh := w.canonAdd(ns)
+		if !fresh {
+			w.put(nc)
 			return
 		}
 		if e.states.Add(1) > e.limit {
-			w.put(ns)
+			w.put(nc)
 			e.failWith(e.limitError())
 			return
 		}
 		e.pending.Add(1)
-		w.pushBack(item{s: ns})
+		w.pushBack(item{s: nc})
 	})
 	if emitted == 0 {
 		if !e.c.quiescent(s) {
@@ -308,6 +338,24 @@ func (e *engine) expandItem(w *pworker, s *mstate) {
 }
 
 func (e *engine) result(out map[string]*Outcome) *Result {
+	// Close the terminal outcome set under the automorphism group: the
+	// quotient exploration records one representative per outcome orbit,
+	// and g·o is allowed whenever o is, so a single pass over each group
+	// element restores exactly the symmetry-off key set.
+	if c := e.c; len(c.syms) > 0 {
+		base := make([]*Outcome, 0, len(out))
+		for _, o := range out {
+			base = append(base, o)
+		}
+		for _, o := range base {
+			for gi := range c.syms {
+				po := c.permOutcome(&c.syms[gi], o)
+				if k := po.Key(); out[k] == nil {
+					out[k] = po
+				}
+			}
+		}
+	}
 	res := &Result{
 		States: int(e.states.Load()),
 		Pruned: int(e.pruned.Load()),

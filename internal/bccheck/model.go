@@ -31,6 +31,15 @@ type compiled struct {
 	locName func(Loc) string
 	tune    Tuning
 	wit     bool
+	mut     Mutation
+
+	// Symmetry reduction (sym.go): the non-identity automorphisms of the
+	// program system, plus user-id lookup tables for mapping report
+	// labels back to original numbering. Empty when symmetry is off or
+	// the group is trivial.
+	syms    []symPerm
+	blkByID map[int]int
+	barByID map[int]int
 
 	// Flat-state layout: per-proc segment offsets into mstate.regs/buf.
 	regOff []int32
@@ -106,12 +115,22 @@ func compile(prog Program, opts Options) (*compiled, error) {
 		return nil, fmt.Errorf("bccheck: %d blocks referenced (max 16)", len(words))
 	}
 
+	if opts.Mutate >= mutCount {
+		return nil, fmt.Errorf("bccheck: unknown mutation %d", opts.Mutate)
+	}
 	c := &compiled{
 		nproc:   len(prog),
 		max:     opts.MaxStates,
 		locName: opts.LocName,
 		tune:    opts.Tuning,
 		wit:     opts.Witnesses,
+		mut:     opts.Mutate,
+	}
+	if c.mut != MutNone {
+		// Mutated semantics invalidate the POR commutation argument and
+		// the automorphism group; explore the full graph.
+		c.tune.DisablePOR = true
+		c.tune.DisableSymmetry = true
 	}
 	if c.max <= 0 {
 		c.max = defaultMaxStates
@@ -218,6 +237,12 @@ func compile(prog Program, opts Options) (*compiled, error) {
 
 	c.layout()
 	c.computeMasks()
+	// Witness labels are rendered in the numbering of the explored
+	// states, so witness mode keeps the identity numbering by skipping
+	// symmetry entirely (it already forces the serial engine).
+	if !c.wit && !c.tune.DisableSymmetry {
+		c.computeSyms()
+	}
 	return c, nil
 }
 
@@ -268,6 +293,15 @@ func (c *compiled) refreshClean(s *mstate, p, blk int) {
 // grant installs the lock line from current memory and resumes the waiter.
 func (c *compiled) grant(s *mstate, p, blk int) {
 	c.installLine(s, p, 1, blk)
+	if c.mut == MutNPSynch {
+		// Strengthened NP-Synch: acquisition acts as a synch point,
+		// refreshing every present data line's clean words from memory.
+		for b := range c.blocks {
+			if s.lineF[c.li(p, 0, b)]&lfPresent != 0 {
+				c.refreshClean(s, p, b)
+			}
+		}
+	}
 	ps := &s.procs[p]
 	if ps.status == stLock {
 		ps.status = stRun
@@ -282,9 +316,11 @@ func (c *compiled) release(s *mstate, p, blk int) {
 	i := c.li(p, 1, blk)
 	d := s.lineD[i]
 	v0 := c.lv(p, 1, blk)
-	for wi := range b.words {
-		if d&(1<<uint(wi)) != 0 {
-			s.mem[b.base+wi] = s.lineV[v0+wi]
+	if c.mut != MutLockData {
+		for wi := range b.words {
+			if d&(1<<uint(wi)) != 0 {
+				s.mem[b.base+wi] = s.lineV[v0+wi]
+			}
 		}
 	}
 	s.lineF[i] = 0
@@ -452,7 +488,9 @@ func (c *compiled) subscribeRU(n *mstate, p int, in *cinstr) uint64 {
 	n.subs[in.blk] |= 1 << uint(p)
 	i := c.li(p, 0, in.blk)
 	if n.lineF[i]&lfPresent != 0 {
-		c.refreshClean(n, p, in.blk)
+		if c.mut != MutFresh {
+			c.refreshClean(n, p, in.blk)
+		}
 	} else {
 		c.installLine(n, p, 0, in.blk)
 	}
@@ -571,7 +609,7 @@ func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
 	case OpFlush:
 		n := w.clone(s)
 		np := &n.procs[p]
-		if np.bufLo == np.bufHi {
+		if np.bufLo == np.bufHi || c.mut == MutCPSynch {
 			np.pc++
 			emit(sdesc{kind: sdProc, proc: p8, op: OpFlush, variant: vEmpty}, n)
 			return
@@ -581,6 +619,14 @@ func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
 
 	case OpReadLock, OpWriteLock:
 		n := w.clone(s)
+		if c.mut == MutNPSynch && ps.stage == 0 && ps.bufLo != ps.bufHi {
+			// Strengthened NP-Synch: acquisition drains the buffer first,
+			// like a CP-Synch point. The drained proc re-executes the
+			// acquire (unblockFlush only resets status for lock ops).
+			n.procs[p].status = stFlush
+			emit(sdesc{kind: sdProc, proc: p8, op: in.op, variant: vQueued, loc: in.loc}, n)
+			return
+		}
 		write := in.op == OpWriteLock
 		q0 := in.blk * c.nproc
 		qn := int(n.lockN[in.blk])
@@ -616,7 +662,7 @@ func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
 		n := w.clone(s)
 		np := &n.procs[p]
 		if ps.stage == 0 {
-			if np.bufLo != np.bufHi {
+			if np.bufLo != np.bufHi && c.mut != MutCPSynch {
 				np.status = stFlush
 				emit(sdesc{kind: sdProc, proc: p8, op: OpUnlock, variant: vFlushFirst, loc: in.loc}, n)
 				return
@@ -634,13 +680,20 @@ func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
 		n := w.clone(s)
 		np := &n.procs[p]
 		if ps.stage == 0 {
-			if np.bufLo != np.bufHi {
+			if np.bufLo != np.bufHi && c.mut != MutCPSynch {
 				np.status = stFlush
 				emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vFlushFirst, loc: in.loc}, n)
 				return
 			}
 			np.stage = 1
 			emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vBufEmpty, loc: in.loc}, n)
+			return
+		}
+		if c.mut == MutBarrier {
+			// No rendezvous: the arriving processor continues alone.
+			np.stage = 0
+			np.pc++
+			emit(sdesc{kind: sdProc, proc: p8, op: OpBarrier, variant: vLastArrival, loc: in.loc}, n)
 			return
 		}
 		mask := n.bars[in.blk] | 1<<uint(p)
@@ -664,13 +717,25 @@ func (c *compiled) procStep(w *worker, s *mstate, p int, emit emitFn) {
 // retireStep emits the state where p's oldest buffered write performs at
 // memory, generating update propagations to the block's subscribers.
 func (c *compiled) retireStep(w *worker, s *mstate, p int, emit emitFn) {
-	ps := &s.procs[p]
-	e := s.buf[int(c.bufOff[p])+int(ps.bufLo)]
+	c.retireStepAt(w, s, p, int(s.procs[p].bufLo), emit)
+}
+
+// retireStepAt retires the buffered entry at window index j: the head in
+// the real model, any live entry under MutFIFO.
+func (c *compiled) retireStepAt(w *worker, s *mstate, p, j int, emit emitFn) {
+	off := int(c.bufOff[p])
+	e := s.buf[off+j]
 	n := w.clone(s)
-	n.procs[p].bufLo++
+	np := &n.procs[p]
+	if j == int(np.bufLo) {
+		np.bufLo++
+	} else {
+		copy(n.buf[off+j:off+int(np.bufHi)-1], n.buf[off+j+1:off+int(np.bufHi)])
+		np.bufHi--
+	}
 	n.mem[e.wrd] = e.val
 	b := &c.blocks[e.blk]
-	if m := n.subs[e.blk]; m != 0 {
+	if m := n.subs[e.blk]; m != 0 && c.mut != MutFresh {
 		var pr propm
 		pr.blk = e.blk
 		pr.n = int8(len(b.words))
@@ -699,7 +764,7 @@ func (c *compiled) propStep(w *worker, s *mstate, i int, emit emitFn) {
 		d := n.lineD[li]
 		v0 := c.lv(int(pr.dst), 0, int(pr.blk))
 		for wi := 0; wi < int(pr.n); wi++ {
-			if d&(1<<uint(wi)) == 0 {
+			if d&(1<<uint(wi)) == 0 || c.mut == MutCoherence {
 				n.lineV[v0+wi] = pr.vals[wi]
 			}
 		}
@@ -728,7 +793,13 @@ func (c *compiled) expand(w *worker, s *mstate, emit emitFn) {
 			c.procStep(w, s, p, emit)
 		}
 		if ps.bufLo != ps.bufHi {
-			c.retireStep(w, s, p, emit)
+			if c.mut == MutFIFO {
+				for j := int(ps.bufLo); j < int(ps.bufHi); j++ {
+					c.retireStepAt(w, s, p, j, emit)
+				}
+			} else {
+				c.retireStep(w, s, p, emit)
+			}
 		}
 	}
 	for i := range s.props {

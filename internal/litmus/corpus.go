@@ -2,9 +2,13 @@ package litmus
 
 import (
 	"embed"
+	"encoding/json"
 	"fmt"
 	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // The seed corpus ships inside the binary so the CLI, the daemon, and the
@@ -35,7 +39,68 @@ func Corpus() ([]*Test, error) {
 	return tests, nil
 }
 
-// Load returns the embedded test with the given name.
+// The farm-generated corpus ships alongside the hand-written one: each
+// file is the canonical representative of one behavioral equivalence
+// class, tagged with its axiom-coverage vector and pinned allowed set.
+//
+//go:embed testdata/generated
+var generatedFS embed.FS
+
+// Generated returns the embedded farm-generated tests, sorted by name.
+func Generated() ([]*Test, error) {
+	entries, err := fs.ReadDir(generatedFS, "testdata/generated")
+	if err != nil {
+		return nil, err
+	}
+	var tests []*Test
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := fs.ReadFile(generatedFS, "testdata/generated/"+e.Name())
+		if err != nil {
+			return nil, err
+		}
+		t, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		tests = append(tests, t)
+	}
+	sort.Slice(tests, func(i, j int) bool { return tests[i].Name < tests[j].Name })
+	return tests, nil
+}
+
+// WriteGeneratedCorpus replaces the generated corpus in dir: stale
+// g*.json files are removed, and each test is written to <name>.json.
+func WriteGeneratedCorpus(dir string, tests []*Test) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "g*.json"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	for _, t := range tests {
+		data, err := json.MarshalIndent(t, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(filepath.Join(dir, t.Name+".json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load returns the embedded test with the given name, searching the
+// hand-written corpus first and the generated corpus second.
 func Load(name string) (*Test, error) {
 	tests, err := Corpus()
 	if err != nil {
@@ -44,6 +109,17 @@ func Load(name string) (*Test, error) {
 	for _, t := range tests {
 		if t.Name == name {
 			return t, nil
+		}
+	}
+	if strings.HasPrefix(name, "g") {
+		gen, err := Generated()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range gen {
+			if t.Name == name {
+				return t, nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("litmus: no corpus test named %q", name)

@@ -15,36 +15,66 @@ import (
 )
 
 // oldSemantics mirrors the pre-overhaul engine: full interleaving graph,
-// one worker.
-var oldSemantics = bccheck.Tuning{DisablePOR: true, Workers: 1}
+// one worker, no symmetry quotient.
+var oldSemantics = bccheck.Tuning{DisablePOR: true, DisableSymmetry: true, Workers: 1}
 
-// diffOne enumerates t under both configurations and compares outcome
-// key sets. It returns false when the state limit truncated either run
-// (no verdict to compare).
+// diffConfigs is every engine configuration that must agree on verdicts:
+// the reductions (POR, symmetry) and the parallel frontier change cost,
+// never outcomes.
+var diffConfigs = []struct {
+	name string
+	tune bccheck.Tuning
+}{
+	{"reference", oldSemantics},
+	{"default", bccheck.Tuning{}},
+	{"serial", bccheck.Tuning{Workers: 1}},
+	{"workers-3", bccheck.Tuning{Workers: 3}},
+	{"sym-off", bccheck.Tuning{DisableSymmetry: true}},
+	{"por-off", bccheck.Tuning{DisablePOR: true}},
+}
+
+// diffOne enumerates t under every configuration and demands identical
+// outcome key sets; configurations differing only in worker count must
+// also report identical States/Pruned (the reduced graph is a function
+// of the state, not the schedule). It returns false when the state limit
+// truncated a run (no verdict to compare).
 func diffOne(t *testing.T, lt *Test) bool {
 	t.Helper()
 	c, err := lt.compile()
 	if err != nil {
 		t.Fatalf("%s: compile: %v", lt.Name, err)
 	}
-	ref := c.opts
-	ref.Tuning = oldSemantics
-	want, err := bccheck.Enumerate(c.prog, ref)
-	if err != nil {
-		if errors.Is(err, bccheck.ErrStateLimit) {
-			return false
+	results := make([]*bccheck.Result, len(diffConfigs))
+	for i, cfg := range diffConfigs {
+		opts := c.opts
+		opts.Tuning = cfg.tune
+		res, err := bccheck.Enumerate(c.prog, opts)
+		if err != nil {
+			if errors.Is(err, bccheck.ErrStateLimit) {
+				return false
+			}
+			t.Fatalf("%s: enumerate (%s): %v", lt.Name, cfg.name, err)
 		}
-		t.Fatalf("%s: reference enumerate: %v", lt.Name, err)
+		results[i] = res
 	}
-	got, err := bccheck.Enumerate(c.prog, c.opts)
-	if err != nil {
-		if errors.Is(err, bccheck.ErrStateLimit) {
-			return false
+	want := results[0].Keys()
+	for i, cfg := range diffConfigs[1:] {
+		if got := results[i+1].Keys(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: outcome sets differ under %s\n got: %v\n ref: %v", lt.Name, cfg.name, got, want)
 		}
-		t.Fatalf("%s: enumerate: %v", lt.Name, err)
 	}
-	if !reflect.DeepEqual(got.Keys(), want.Keys()) {
-		t.Errorf("%s: outcome sets differ\n new: %v\n old: %v", lt.Name, got.Keys(), want.Keys())
+	// default, serial, and workers-3 share a tuning modulo worker count:
+	// their state and prune counters must be bit-identical.
+	for _, i := range []int{2, 3} {
+		if results[i].States != results[1].States || results[i].Pruned != results[1].Pruned {
+			t.Errorf("%s: %s explored %d states / %d pruned, default %d / %d",
+				lt.Name, diffConfigs[i].name, results[i].States, results[i].Pruned,
+				results[1].States, results[1].Pruned)
+		}
+	}
+	// The symmetry quotient never explores MORE states than the full graph.
+	if symOff, def := results[4].States, results[1].States; def > symOff {
+		t.Errorf("%s: symmetry-on explored %d states, symmetry-off %d", lt.Name, def, symOff)
 	}
 	return true
 }
@@ -75,6 +105,28 @@ func TestDifferentialCorpus(t *testing.T) {
 		}
 		if newRep.Ok() != oldRep.Ok() {
 			t.Errorf("%s: verdict differs: new ok=%v, old ok=%v", lt.Name, newRep.Ok(), oldRep.Ok())
+		}
+	}
+}
+
+// TestDifferentialGenerated runs the committed farm corpus through every
+// engine configuration. These programs were selected for having an axiom
+// family load-bearing in their allowed set, so they are exactly the ones
+// where an unsound reduction would flip a verdict.
+func TestDifferentialGenerated(t *testing.T) {
+	tests, err := Generated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) < 200 {
+		t.Fatalf("generated corpus has %d tests, want >= 200", len(tests))
+	}
+	if testing.Short() {
+		tests = tests[:40]
+	}
+	for _, lt := range tests {
+		if !diffOne(t, lt) {
+			t.Errorf("%s: generated test hit the state limit", lt.Name)
 		}
 	}
 }

@@ -164,7 +164,7 @@ func generate(rng *rand.Rand, id int) *Test {
 	loc := func() string { return fuzzLocs[rng.Intn(len(fuzzLocs))] }
 
 	simple := func() Stmt {
-		switch rng.Intn(8) {
+		switch rng.Intn(9) {
 		case 0, 1:
 			return Stmt{Op: "read", Loc: loc()}
 		case 2:
@@ -175,6 +175,11 @@ func generate(rng *rand.Rand, id int) *Test {
 			return Stmt{Op: "read-update", Loc: loc()}
 		case 6:
 			return Stmt{Op: "reset-update", Loc: loc()}
+		case 7:
+			// Private write: dirties a word of the local copy, which an
+			// update propagation must NOT clobber (coherence of the
+			// per-word merge).
+			return Stmt{Op: "write", Loc: loc(), Val: nextVal()}
 		default:
 			return Stmt{Op: "flush"}
 		}

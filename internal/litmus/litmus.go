@@ -55,6 +55,15 @@ type Test struct {
 	// space-separated "P<p>:<reg>=<val>" and "<loc>=<val>" tokens.
 	MustAllow  []string `json:"must_allow,omitempty"`
 	MustForbid []string `json:"must_forbid,omitempty"`
+	// Allowed, when present, pins the EXACT axiomatic allowed set (sorted
+	// canonical outcome keys). Farm-generated tests carry it so replaying
+	// the corpus detects any model drift — weakening (new outcomes) as
+	// well as strengthening (lost outcomes).
+	Allowed []string `json:"allowed,omitempty"`
+	// Coverage tags the test with the §2 axiom families that constrain
+	// its allowed set, computed by CoverageVector's per-axiom ablations
+	// and checked against a recomputation in CI.
+	Coverage []string `json:"coverage,omitempty"`
 }
 
 // Parse decodes a test, rejecting unknown fields.

@@ -298,6 +298,10 @@ func runSweep(t *Test, seeds []uint64, tune bccheck.Tuning, chaos ChaosConfig) (
 			r.AssertFailures = append(r.AssertFailures, fmt.Sprintf("must_forbid %q is in allowed set", s))
 		}
 	}
+	if t.Allowed != nil && !equalKeys(t.Allowed, r.Allowed) {
+		r.AssertFailures = append(r.AssertFailures,
+			fmt.Sprintf("allowed-set snapshot mismatch: pinned %d outcomes, model admits %d", len(t.Allowed), len(r.Allowed)))
+	}
 	return r, nil
 }
 

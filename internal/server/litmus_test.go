@@ -115,6 +115,78 @@ func TestLitmusInlineTest(t *testing.T) {
 	}
 }
 
+func TestLitmusBatch(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+
+	// Whole hand-written corpus as one job.
+	resp, body := postJSON(t, ts.URL+"/v1/litmus", `{"batch":"corpus","seeds":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/litmus batch: %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Key    string            `json:"key"`
+		Cached bool              `json:"cached"`
+		Result LitmusBatchReport `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	rep := jr.Result
+	if rep.Batch != "corpus" || rep.Total < 15 || len(rep.Rows) != rep.Total {
+		t.Fatalf("unexpected batch report: batch=%q total=%d rows=%d", rep.Batch, rep.Total, len(rep.Rows))
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("batch reported %d failures: %+v", rep.Failed, rep.Rows)
+	}
+	if rep.Seeds != 4 || rep.States == 0 {
+		t.Fatalf("batch bookkeeping: seeds=%d states=%d", rep.Seeds, rep.States)
+	}
+	for _, ax := range []string{"fifo", "np-synch", "coherence"} {
+		if rep.AxiomCoverage[ax] == 0 {
+			t.Errorf("batch axiom coverage missing %q: %v", ax, rep.AxiomCoverage)
+		}
+	}
+
+	// Resubmitting the identical batch is a cache hit.
+	resp, body = postJSON(t, ts.URL+"/v1/litmus", `{"batch":"corpus","seeds":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/litmus batch (repeat): %d: %s", resp.StatusCode, body)
+	}
+	var jr2 struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &jr2); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if jr2.Key != jr.Key || !jr2.Cached {
+		t.Fatalf("expected batch cache hit under %s, got key %s cached=%v", jr.Key, jr2.Key, jr2.Cached)
+	}
+
+	// The generated corpus is listable.
+	resp, body = getJSON(t, ts.URL+"/v1/litmus?set=generated")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/litmus?set=generated: %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Tests []struct {
+			Name     string   `json:"name"`
+			Coverage []string `json:"coverage"`
+		} `json:"tests"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(list.Tests) < 200 {
+		t.Fatalf("generated listing has %d tests, want >= 200", len(list.Tests))
+	}
+	for _, e := range list.Tests[:5] {
+		if len(e.Coverage) == 0 {
+			t.Errorf("%s: generated test listed without coverage tags", e.Name)
+		}
+	}
+}
+
 func TestLitmusBadRequests(t *testing.T) {
 	_, ts := testServer(t, Config{Workers: 1})
 	for name, body := range map[string]string{
@@ -124,6 +196,8 @@ func TestLitmusBadRequests(t *testing.T) {
 		"bad seeds":     `{"name":"sb","seeds":100000}`,
 		"invalid test":  `{"test":{"name":"x","procs":[[{"op":"cas","loc":"x"}]]}}`,
 		"unknown field": `{"name":"sb","bogus":1}`,
+		"bad batch":     `{"batch":"everything"}`,
+		"batch + name":  `{"batch":"corpus","name":"sb"}`,
 	} {
 		resp, b := postJSON(t, ts.URL+"/v1/litmus", body)
 		if resp.StatusCode != http.StatusBadRequest {
